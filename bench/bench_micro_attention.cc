@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Microbenchmark (google-benchmark): the Section 5.3 cached inference
+ * path vs the full forward, at the kernel level. Complements Tables 5/9
+ * (which time end-to-end predictions) with steady-state measurements of
+ * the encoder forward alone.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "harness/harness.h"
+#include "model/fast_encoder.h"
+#include "synth/generators.h"
+
+using namespace llmulator;
+
+namespace {
+
+/** Shared fixture: one trained model + one workload, built lazily. */
+struct Fixture
+{
+    std::unique_ptr<model::CostModel> ours;
+    model::EncodedProgram prime, probe;
+
+    static Fixture&
+    get()
+    {
+        static Fixture f = [] {
+            Fixture fx;
+            synth::Dataset ds =
+                harness::defaultDataset(harness::defaultSynthConfig());
+            fx.ours = harness::trainCostModel(
+                harness::defaultOursConfig(), ds,
+                harness::defaultTrainConfig(), "main_ours");
+            auto modern = workloads::modern();
+            const auto& w = modern[3]; // CBAM: many Class II operators
+            fx.prime = fx.ours->encode(w.graph, &w.canonicalData);
+            fx.probe = fx.ours->encode(w.graph, &w.variants[0]);
+            return fx;
+        }();
+        return f;
+    }
+};
+
+void
+BM_FullForward(benchmark::State& state)
+{
+    Fixture& f = Fixture::get();
+    model::InferenceSession session(*f.ours);
+    for (auto _ : state) {
+        auto pred =
+            session.predict(f.probe, model::Metric::Cycles, false);
+        benchmark::DoNotOptimize(pred.value);
+    }
+}
+
+void
+BM_CachedForward(benchmark::State& state)
+{
+    Fixture& f = Fixture::get();
+    model::InferenceSession session(*f.ours);
+    session.predict(f.prime, model::Metric::Cycles, true); // prime cache
+    for (auto _ : state) {
+        auto pred = session.predict(f.probe, model::Metric::Cycles, true);
+        benchmark::DoNotOptimize(pred.value);
+    }
+}
+
+void
+BM_AutogradForward(benchmark::State& state)
+{
+    // The training-path forward (tape construction included), for context.
+    Fixture& f = Fixture::get();
+    for (auto _ : state) {
+        auto pooled = f.ours->pooledForward(f.probe);
+        benchmark::DoNotOptimize(pooled->value[0]);
+    }
+}
+
+BENCHMARK(BM_FullForward)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CachedForward)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AutogradForward)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Table 11 reproduction: dataflow-application MAPE on PolyBench compiled
+ * for a programmable dataflow accelerator (the paper's TPU/MLIRSynth
+ * deployment), with LLMulator dynamically calibrated from execution
+ * profiles and compared against the profile-assisted TLP and Tenset-MLP
+ * baselines.
+ *
+ * The deployment is modeled by re-parameterizing each kernel with the TPU
+ * case-study hardware mapping (fast scratchpad memories, wider ports) and
+ * calibrating on profiles of the input variants, mirroring "dynamically
+ * calibrate LLMulator using input profiles collected during TPU runs".
+ *
+ * Expected shape (paper): Ours < Tenset and Ours < TLP on average
+ * (13.6% vs 24.4% / 20.4% there).
+ */
+
+#include <cstdio>
+
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "harness/harness.h"
+
+using namespace llmulator;
+using model::Metric;
+
+int
+main()
+{
+    std::printf("Table 11: dataflow application MAPE on PolyBench "
+                "(TPU-mapped, profile-calibrated)\n");
+
+    synth::Dataset ds = harness::defaultDataset(harness::defaultSynthConfig());
+    harness::TrainConfig tcfg = harness::defaultTrainConfig();
+    auto ours = harness::trainCostModel(harness::defaultOursConfig(), ds,
+                                        tcfg, "main_ours");
+    auto tlp = harness::trainTlp(ds, tcfg, "main");
+    auto tenset = harness::trainTensetMlp(ds, tcfg, "main");
+
+    // TPU-style deployment: fast on-chip memories, wide read ports.
+    auto poly = workloads::polybench();
+    for (auto& w : poly) {
+        w.graph.params.memReadDelay = 2;
+        w.graph.params.memWriteDelay = 2;
+        w.graph.params.readPorts = 4;
+        w.graph.params.writePorts = 2;
+    }
+
+    auto fn_tlp = harness::predictTlp(*tlp);
+    auto fn_tenset = harness::predictTensetMlp(*tenset);
+    auto e_tlp = harness::workloadErrors(fn_tlp, poly, Metric::Cycles);
+    auto e_tenset =
+        harness::workloadErrors(fn_tenset, poly, Metric::Cycles);
+
+    eval::Table t({"Kernel", "Ours", "Tenset", "TLP"});
+    std::vector<double> e_ours;
+    for (size_t i = 0; i < poly.size(); ++i) {
+        // 8 calibration iterations: profiles are plentiful on real runs.
+        e_ours.push_back(
+            harness::calibratedCyclesError(*ours, poly[i], 8));
+        t.addRow({poly[i].name, eval::pct(e_ours.back()),
+                  eval::pct(e_tenset[i]), eval::pct(e_tlp[i])});
+    }
+    t.addRow({"average", eval::pct(eval::mean(e_ours)),
+              eval::pct(eval::mean(e_tenset)),
+              eval::pct(eval::mean(e_tlp))});
+    t.print();
+    std::printf("\n[shape] Ours %.1f%% vs Tenset %.1f%% vs TLP %.1f%% "
+                "(paper: 13.6%% / 24.4%% / 20.4%%)\n",
+                eval::mean(e_ours) * 100, eval::mean(e_tenset) * 100,
+                eval::mean(e_tlp) * 100);
+    return 0;
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Table 3 reproduction: MAPE comparison on PolyBench and the modern
+ * (Table 2) workloads, for the static metrics (Power / Area / FF) and the
+ * dynamic metric (Cycles), across
+ *   NoEnc (progressive-encoding ablation), Ours, GNNHLS, Tenset-MLP, TLP
+ * for static metrics and
+ *   NoDPO (calibration ablation), Ours, GNNHLS, Tenset-MLP, TLP
+ * for cycles — plus the TPU / Eyeriss / ShiDianNao transfer rows of the
+ * Section 7.4 case study.
+ *
+ * Expected shapes (paper): Ours < TLP < GNNHLS on average; NoEnc worse
+ * than Ours on static metrics; NoDPO worse than Ours on cycles; the
+ * accelerator rows stay in the ~10% band without retraining.
+ */
+
+#include <cstdio>
+
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "harness/harness.h"
+#include "util/string_util.h"
+
+using namespace llmulator;
+using model::Metric;
+
+namespace {
+
+struct MethodErrors
+{
+    std::vector<double> noenc, ours, gnn, tenset, tlp;
+};
+
+void
+printMetricTable(const char* title, const char* abl_name,
+                 const std::vector<workloads::Workload>& ws,
+                 const MethodErrors& e, size_t offset)
+{
+    std::printf("\n-- %s --\n", title);
+    eval::Table t({"Benchmark", abl_name, "Ours", "GNNHLS", "Tenset",
+                   "TLP"});
+    for (size_t i = 0; i < ws.size(); ++i) {
+        size_t k = offset + i;
+        t.addRow({ws[i].name, eval::pct(e.noenc[k]), eval::pct(e.ours[k]),
+                  eval::pct(e.gnn[k]), eval::pct(e.tenset[k]),
+                  eval::pct(e.tlp[k])});
+    }
+    auto avg = [&](const std::vector<double>& v) {
+        std::vector<double> slice(v.begin() + offset,
+                                  v.begin() + offset + ws.size());
+        return eval::mean(slice);
+    };
+    t.addRow({util::format("average(%zu)", ws.size()),
+              eval::pct(avg(e.noenc)), eval::pct(avg(e.ours)),
+              eval::pct(avg(e.gnn)), eval::pct(avg(e.tenset)),
+              eval::pct(avg(e.tlp))});
+    t.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Table 3: MAPE comparison with ablation of progressive "
+                "encoding and dynamic calibration\n");
+
+    synth::Dataset ds = harness::defaultDataset(harness::defaultSynthConfig());
+    harness::TrainConfig tcfg = harness::defaultTrainConfig();
+    std::printf("[setup] dataset: %zu samples\n", ds.size());
+
+    auto ours = harness::trainCostModel(harness::defaultOursConfig(), ds,
+                                        tcfg, "main_ours");
+    auto noenc =
+        harness::trainCostModel(harness::noEncConfig(), ds, tcfg,
+                                "main_noenc");
+    auto tlp = harness::trainTlp(ds, tcfg, "main");
+    auto gnn = harness::trainGnnHls(ds, tcfg, "main");
+    auto tenset = harness::trainTensetMlp(ds, tcfg, "main");
+    std::printf("[setup] models trained (or loaded from cache)\n");
+
+    auto poly = workloads::polybench();
+    auto modern = workloads::modern();
+    auto accel = workloads::accelerators();
+    std::vector<workloads::Workload> all;
+    for (const auto* suite : {&poly, &modern, &accel})
+        for (const auto& w : *suite)
+            all.push_back(w);
+
+    auto fn_ours = harness::predictOurs(*ours);
+    auto fn_noenc = harness::predictOurs(*noenc);
+    auto fn_tlp = harness::predictTlp(*tlp);
+    auto fn_gnn = harness::predictGnnHls(*gnn);
+    auto fn_tenset = harness::predictTensetMlp(*tenset);
+
+    // Static metrics.
+    for (Metric m : {Metric::Power, Metric::Area, Metric::FlipFlops}) {
+        MethodErrors e;
+        e.noenc = harness::workloadErrors(fn_noenc, all, m);
+        e.ours = harness::workloadErrors(fn_ours, all, m);
+        e.gnn = harness::workloadErrors(fn_gnn, all, m);
+        e.tenset = harness::workloadErrors(fn_tenset, all, m);
+        e.tlp = harness::workloadErrors(fn_tlp, all, m);
+        std::string title =
+            util::format("Static-%s", model::metricName(m));
+        printMetricTable((title + " (PolyBench)").c_str(), "NoEnc", poly, e,
+                         0);
+        printMetricTable((title + " (Modern, Tab.2)").c_str(), "NoEnc",
+                         modern, e, poly.size());
+        printMetricTable((title + " (Accelerators)").c_str(), "NoEnc",
+                         accel, e, poly.size() + modern.size());
+    }
+
+    // Dynamic cycles: NoDPO = our static model without calibration;
+    // Ours = after 5 DPO iterations over the input variants.
+    {
+        MethodErrors e;
+        e.noenc = harness::workloadErrors(fn_ours, all, Metric::Cycles);
+        e.ours.reserve(all.size());
+        for (const auto& w : all)
+            e.ours.push_back(
+                harness::calibratedCyclesError(*ours, w, 5));
+        e.gnn = harness::workloadErrors(fn_gnn, all, Metric::Cycles);
+        e.tenset =
+            harness::workloadErrors(fn_tenset, all, Metric::Cycles);
+        e.tlp = harness::workloadErrors(fn_tlp, all, Metric::Cycles);
+        printMetricTable("Dynamic-Cycles (PolyBench)", "NoDPO", poly, e, 0);
+        printMetricTable("Dynamic-Cycles (Modern, Tab.2)", "NoDPO", modern,
+                         e, poly.size());
+        printMetricTable("Dynamic-Cycles (Accelerators)", "NoDPO", accel, e,
+                         poly.size() + modern.size());
+
+        double avg_nodpo = eval::mean(e.noenc);
+        double avg_ours = eval::mean(e.ours);
+        std::printf("\n[shape] cycles MAPE: NoDPO %.1f%% -> Ours (DPO) "
+                    "%.1f%% (paper: 28.9%% -> 16.4%% on modern)\n",
+                    avg_nodpo * 100, avg_ours * 100);
+    }
+    return 0;
+}

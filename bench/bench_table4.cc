@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Table 4 reproduction: per-prediction runtime latency (seconds) on the
+ * PolyBench kernels for GNNHLS, Tenset-MLP, TLP and LLMulator.
+ *
+ * Expected shape (paper): Ours is roughly an order of magnitude slower
+ * than the lightweight baselines (1.01s vs 0.08-0.21s there) because the
+ * LLM forward + digit-wise beam decode dominates; the baselines are one
+ * small forward pass each.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "eval/table.h"
+#include "harness/harness.h"
+
+using namespace llmulator;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double
+timeIt(const std::function<void()>& fn, int reps = 3)
+{
+    // One warmup, then the mean of reps.
+    fn();
+    auto t0 = Clock::now();
+    for (int i = 0; i < reps; ++i)
+        fn();
+    auto t1 = Clock::now();
+    return std::chrono::duration<double>(t1 - t0).count() / reps;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Table 4: prediction latency (seconds) on PolyBench\n");
+
+    synth::Dataset ds = harness::defaultDataset(harness::defaultSynthConfig());
+    harness::TrainConfig tcfg = harness::defaultTrainConfig();
+    auto ours = harness::trainCostModel(harness::defaultOursConfig(), ds,
+                                        tcfg, "main_ours");
+    auto tlp = harness::trainTlp(ds, tcfg, "main");
+    auto gnn = harness::trainGnnHls(ds, tcfg, "main");
+    auto tenset = harness::trainTensetMlp(ds, tcfg, "main");
+
+    auto poly = workloads::polybench();
+    eval::Table t({"Method", "adi", "atax", "bicg", "corre.", "covar.",
+                   "deriche", "fdtd-2d", "heat-3d", "jacobi.", "seidel.",
+                   "avg"});
+
+    auto fn_ours = harness::predictOurs(*ours);
+    auto fn_tlp = harness::predictTlp(*tlp);
+    auto fn_gnn = harness::predictGnnHls(*gnn);
+    auto fn_tenset = harness::predictTensetMlp(*tenset);
+
+    struct Row
+    {
+        const char* name;
+        harness::PredictFn fn;
+    };
+    std::vector<Row> rows = {{"GNNHLS", fn_gnn},
+                             {"Tenset", fn_tenset},
+                             {"TLP", fn_tlp},
+                             {"Ours", fn_ours}};
+
+    std::vector<std::vector<double>> lat(rows.size());
+    for (size_t r = 0; r < rows.size(); ++r) {
+        std::vector<std::string> cells = {rows[r].name};
+        double sum = 0;
+        for (const auto& w : poly) {
+            double s = timeIt([&] {
+                rows[r].fn(w, model::Metric::Cycles);
+            });
+            lat[r].push_back(s);
+            sum += s;
+            cells.push_back(eval::secs(s));
+        }
+        cells.push_back(eval::secs(sum / poly.size()));
+        t.addRow(cells);
+    }
+    t.print();
+
+    auto avg = [&](size_t r) {
+        double s = 0;
+        for (double v : lat[r])
+            s += v;
+        return s / lat[r].size();
+    };
+    std::printf("\n[shape] Ours/GNNHLS latency ratio: %.1fx (paper: "
+                "~9x; LLM forward + beam decode dominates)\n",
+                avg(3) / std::max(1e-9, avg(0)));
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Real-world accelerator case study (paper Section 7.4): predict the
+ * metrics of TPU-v1-, Eyeriss- and ShiDianNao-style GEMM schedules with
+ * a pre-trained LLMulator model, *without* fine-tuning on those designs,
+ * and compare against the profiled ground truth.
+ *
+ *   ./accelerator_case_study
+ */
+
+#include <cstdio>
+
+#include "eval/metrics.h"
+#include "harness/harness.h"
+#include "sim/profiler.h"
+
+using namespace llmulator;
+
+int
+main()
+{
+    std::printf("== loading pre-trained LLMulator model ==\n");
+    synth::Dataset ds =
+        harness::defaultDataset(harness::defaultSynthConfig());
+    auto model = harness::trainCostModel(harness::defaultOursConfig(), ds,
+                                         harness::defaultTrainConfig(),
+                                         "main_ours");
+
+    auto accs = workloads::accelerators();
+    std::printf("\n%-11s %-7s %10s %10s %8s\n", "Design", "Metric",
+                "Predicted", "Profiled", "abs%err");
+    for (const auto& w : accs) {
+        model::Targets truth = harness::groundTruth(w);
+        for (auto m : {model::Metric::Power, model::Metric::Area,
+                       model::Metric::FlipFlops, model::Metric::Cycles}) {
+            const dfir::RuntimeData* data =
+                m == model::Metric::Cycles ? &w.canonicalData : nullptr;
+            auto ep = model->encode(w.graph, data);
+            auto pred = model->predict(ep, m);
+            std::printf("%-11s %-7s %10ld %10ld %7.1f%%\n",
+                        w.name.c_str(), model::metricName(m), pred.value,
+                        truth.get(m),
+                        eval::absPctError(pred.value, truth.get(m)) * 100);
+        }
+        std::printf("\n");
+    }
+    std::printf("The three schedules differ only in loop order and "
+                "mapping pragmas;\nthe model transfers across dataflow "
+                "styles without retraining (paper: 6.9-10.7%% MAPE).\n");
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Input-adaptive dynamic calibration (paper Section 5): a sliding-window
+ * operator whose control flow depends on the input tensor size and
+ * values. The static model mispredicts as the input distribution shifts;
+ * the DPO calibration loop tracks the profiler and converges.
+ *
+ *   ./input_adaptive_calibration
+ */
+
+#include <cstdio>
+
+#include "calib/dpo.h"
+#include "dfir/builder.h"
+#include "harness/harness.h"
+#include "sim/profiler.h"
+#include "synth/generators.h"
+
+using namespace llmulator;
+using namespace llmulator::dfir;
+
+int
+main()
+{
+    // The paper's Challenge-2 example: loop bounds driven by the input
+    // tensor size [H, W], with a value-dependent branch inside.
+    Operator window;
+    window.name = "sliding_window";
+    window.scalarParams = {"H", "W"};
+    window.tensors = {tensor("img", {p("H"), p("W")}),
+                      tensor("out", {p("H"), p("W")})};
+    auto inner = ifStmt(
+        bgt(a("img", {v("i"), v("j")}), c(0)),
+        {assign("out", {v("i"), v("j")},
+                bmul(a("img", {v("i"), v("j")}),
+                     a("img", {v("i"), v("j")})))},
+        {assign("out", {v("i"), v("j")}, c(0))});
+    window.body = {forLoop("i", c(0), p("H"),
+                           {forLoop("j", c(0), p("W"), {inner})})};
+
+    DataflowGraph graph;
+    graph.name = "window_app";
+    graph.ops = {window};
+    graph.calls = {{"sliding_window"}};
+
+    std::printf("== loading static LLMulator model ==\n");
+    synth::Dataset ds =
+        harness::defaultDataset(harness::defaultSynthConfig());
+    auto model = harness::trainCostModel(harness::defaultOursConfig(), ds,
+                                         harness::defaultTrainConfig(),
+                                         "main_ours");
+
+    // Online calibration: each step the deployment produces a new input,
+    // the profiler (Verilator stand-in) reports real cycles, and DPO
+    // nudges the policy (paper Figure 4).
+    calib::DpoConfig dcfg;
+    dcfg.lr = 2e-3f;
+    calib::DpoCalibrator calibrator(*model, dcfg);
+
+    util::Rng rng(7);
+    std::printf("\n iter    H    W    truth     pred    abs%%err\n");
+    for (int iter = 0; iter < 14; ++iter) {
+        // Shift the input distribution over time (growing images).
+        long scale = 12 + 2 * iter;
+        RuntimeData data = synth::generateRuntimeData(graph, rng, scale);
+        long truth = sim::profile(graph, data).cycles;
+        auto ep = model->encode(graph, &data);
+        auto before = calibrator.predict(ep);
+        double err = calibrator.observe(ep, truth);
+        std::printf("%5d %4ld %4ld %8ld %8ld   %6.1f%%\n", iter,
+                    data.scalars["H"], data.scalars["W"], truth,
+                    before.value, err * 100);
+    }
+    std::printf("\nThe error trend should fall as calibration absorbs the "
+                "profile feedback\n(paper: converges to within ~11%% "
+                "after several iterations).\n");
+    return 0;
+}

@@ -1,0 +1,92 @@
+#include "baselines/gnnhls.h"
+
+#include "nn/ops.h"
+#include "util/common.h"
+
+namespace llmulator {
+namespace baselines {
+
+GnnHlsModel::GnnHlsModel(const GnnHlsConfig& cfg) : cfg_(cfg)
+{
+    util::Rng rng(cfg_.seed);
+    embed_ = std::make_unique<nn::Linear>(dfir::kNodeFeatureDim, cfg_.hidden,
+                                          rng);
+    selfW_ = std::make_unique<nn::Linear>(cfg_.hidden, cfg_.hidden, rng);
+    nbrW_ = std::make_unique<nn::Linear>(cfg_.hidden, cfg_.hidden, rng);
+    readout_ = std::make_unique<nn::Mlp>(
+        std::vector<int>{cfg_.hidden, cfg_.hidden, model::kNumMetrics}, rng);
+}
+
+void
+GnnHlsModel::observeTarget(model::Metric m, long value)
+{
+    scaler_.observe(m, value);
+}
+
+nn::TensorPtr
+GnnHlsModel::scoreForward(const dfir::ProgramGraph& pg) const
+{
+    int n = pg.numNodes();
+    LLM_CHECK(n > 0, "empty program graph");
+
+    // Node feature matrix.
+    std::vector<float> feat(size_t(n) * dfir::kNodeFeatureDim);
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < dfir::kNodeFeatureDim; ++j)
+            feat[size_t(i) * dfir::kNodeFeatureDim + j] = pg.features[i][j];
+    auto x = nn::Tensor::fromData(n, dfir::kNodeFeatureDim, std::move(feat));
+
+    // Row-normalized adjacency (mean aggregation), constant w.r.t. params.
+    std::vector<float> adj(size_t(n) * n, 0.f);
+    for (int i = 0; i < n; ++i) {
+        if (pg.adj[i].empty())
+            continue;
+        float w = 1.f / static_cast<float>(pg.adj[i].size());
+        for (int nb : pg.adj[i])
+            adj[size_t(i) * n + nb] += w;
+    }
+    auto a = nn::Tensor::fromData(n, n, std::move(adj));
+
+    nn::TensorPtr h = nn::relu(embed_->forward(x));
+    for (int round = 0; round < cfg_.rounds; ++round) {
+        nn::TensorPtr nbr = nn::matmul(a, h);
+        h = nn::relu(
+            nn::add(selfW_->forward(h), nbrW_->forward(nbr)));
+    }
+    nn::TensorPtr pooled = nn::meanRows(h);
+    return nn::sigmoid(readout_->forward(pooled));
+}
+
+nn::TensorPtr
+GnnHlsModel::loss(const dfir::ProgramGraph& pg, model::Metric m,
+                  long target) const
+{
+    nn::TensorPtr scores = scoreForward(pg); // [1, kNumMetrics]
+    nn::TensorPtr score =
+        nn::sliceCols(scores, static_cast<int>(m), 1);
+    return nn::mseLoss(score, {scaler_.normalize(m, target)});
+}
+
+long
+GnnHlsModel::predict(const dfir::ProgramGraph& pg, model::Metric m) const
+{
+    nn::TensorPtr scores = scoreForward(pg);
+    return scaler_.denormalize(m, scores->at(0, static_cast<int>(m)));
+}
+
+std::vector<nn::TensorPtr>
+GnnHlsModel::parameters() const
+{
+    std::vector<nn::TensorPtr> out;
+    for (const nn::Module* mod :
+         {static_cast<const nn::Module*>(embed_.get()),
+          static_cast<const nn::Module*>(selfW_.get()),
+          static_cast<const nn::Module*>(nbrW_.get()),
+          static_cast<const nn::Module*>(readout_.get())})
+        for (const auto& p : mod->parameters())
+            out.push_back(p);
+    return out;
+}
+
+} // namespace baselines
+} // namespace llmulator

@@ -1,0 +1,67 @@
+#ifndef LLMULATOR_BASELINES_GNNHLS_H
+#define LLMULATOR_BASELINES_GNNHLS_H
+
+/**
+ * @file
+ * GNNHLS baseline (Wu et al., DAC'22 / ProGraML-style), per the paper's
+ * Section 7.1 description: "converts HLS programs into graphs for cost
+ * prediction using graph neural networks".
+ *
+ * The program graph comes from dfir::extractProgramGraph (loops,
+ * statements, arrays, operators with nesting / call-order / array-sharing
+ * edges). Inference is L rounds of mean-aggregation message passing
+ * followed by mean-pool readout and sigmoid regression heads — a static
+ * graph model: runtime data never enters the graph, reproducing the
+ * input-generalization blindness Table 3 measures.
+ */
+
+#include <memory>
+
+#include "baselines/regression_common.h"
+#include "dfir/analysis.h"
+#include "nn/layers.h"
+
+namespace llmulator {
+namespace baselines {
+
+/** GNNHLS configuration. */
+struct GnnHlsConfig
+{
+    int hidden = 32;  //!< node embedding width
+    int rounds = 3;   //!< message-passing rounds
+    uint64_t seed = 11;
+};
+
+/** Message-passing GNN cost model over program graphs. */
+class GnnHlsModel : public nn::Module
+{
+  public:
+    explicit GnnHlsModel(const GnnHlsConfig& cfg);
+
+    /** Record a training label so the scaler learns the range. */
+    void observeTarget(model::Metric m, long value);
+
+    /** MSE loss on the normalized target for one graph. */
+    nn::TensorPtr loss(const dfir::ProgramGraph& pg, model::Metric m,
+                       long target) const;
+
+    /** Denormalized point prediction. */
+    long predict(const dfir::ProgramGraph& pg, model::Metric m) const;
+
+    std::vector<nn::TensorPtr> parameters() const override;
+
+  private:
+    GnnHlsConfig cfg_;
+    std::unique_ptr<nn::Linear> embed_;       //!< node features -> hidden
+    std::unique_ptr<nn::Linear> selfW_;       //!< self transform per round
+    std::unique_ptr<nn::Linear> nbrW_;        //!< neighbor transform
+    std::unique_ptr<nn::Mlp> readout_;        //!< pooled -> kNumMetrics
+    TargetScaler scaler_;
+
+    nn::TensorPtr scoreForward(const dfir::ProgramGraph& pg) const;
+};
+
+} // namespace baselines
+} // namespace llmulator
+
+#endif // LLMULATOR_BASELINES_GNNHLS_H

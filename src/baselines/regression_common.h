@@ -1,0 +1,69 @@
+#ifndef LLMULATOR_BASELINES_REGRESSION_COMMON_H
+#define LLMULATOR_BASELINES_REGRESSION_COMMON_H
+
+/**
+ * @file
+ * Shared plumbing for the regression baselines (TLP, GNNHLS, Tenset-MLP).
+ *
+ * All three follow the classical recipe the paper critiques (Section 2,
+ * Challenge 1): a sigmoid-bounded scalar output trained with MSE against
+ * min-max-normalized targets. Values outside the training range are
+ * unreachable after denormalization, which is exactly the numerical range
+ * compression distortion LLMulator's categorical decoding removes.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/cost_model.h"
+
+namespace llmulator {
+namespace baselines {
+
+/** Per-metric min/max normalization fitted on the training set. */
+class TargetScaler
+{
+  public:
+    /** Observe one training label. */
+    void
+    observe(model::Metric m, long value)
+    {
+        int i = static_cast<int>(m);
+        min_[i] = std::min(min_[i], static_cast<double>(value));
+        max_[i] = std::max(max_[i], static_cast<double>(value));
+        seen_[i] = true;
+    }
+
+    /** Map a raw label into [0,1] (clamped). */
+    float
+    normalize(model::Metric m, long value) const
+    {
+        int i = static_cast<int>(m);
+        if (!seen_[i] || max_[i] <= min_[i])
+            return 0.5f;
+        double z = (static_cast<double>(value) - min_[i]) /
+                   (max_[i] - min_[i]);
+        return static_cast<float>(std::clamp(z, 0.0, 1.0));
+    }
+
+    /** Map a [0,1] prediction back to a raw value. */
+    long
+    denormalize(model::Metric m, float z) const
+    {
+        int i = static_cast<int>(m);
+        if (!seen_[i])
+            return 0;
+        double v = min_[i] + static_cast<double>(z) * (max_[i] - min_[i]);
+        return static_cast<long>(std::llround(v));
+    }
+
+  private:
+    double min_[model::kNumMetrics] = {1e300, 1e300, 1e300, 1e300};
+    double max_[model::kNumMetrics] = {-1e300, -1e300, -1e300, -1e300};
+    bool seen_[model::kNumMetrics] = {false, false, false, false};
+};
+
+} // namespace baselines
+} // namespace llmulator
+
+#endif // LLMULATOR_BASELINES_REGRESSION_COMMON_H

@@ -1,0 +1,65 @@
+#include "baselines/tenset_mlp.h"
+
+#include "nn/ops.h"
+#include "util/common.h"
+
+namespace llmulator {
+namespace baselines {
+
+TensetMlpModel::TensetMlpModel(const TensetMlpConfig& cfg) : cfg_(cfg)
+{
+    util::Rng rng(cfg_.seed);
+    mlp_ = std::make_unique<nn::Mlp>(
+        std::vector<int>{dfir::kHandcraftedFeatureDim, cfg_.hidden,
+                         cfg_.hidden, model::kNumMetrics},
+        rng);
+}
+
+std::vector<float>
+TensetMlpModel::features(const dfir::DataflowGraph& g,
+                         const std::map<std::string, long>& scalar_inputs)
+{
+    return dfir::handcraftedFeatures(g, scalar_inputs);
+}
+
+void
+TensetMlpModel::observeTarget(model::Metric m, long value)
+{
+    scaler_.observe(m, value);
+}
+
+nn::TensorPtr
+TensetMlpModel::scoreForward(const std::vector<float>& feats) const
+{
+    LLM_CHECK(feats.size() == size_t(dfir::kHandcraftedFeatureDim),
+              "bad feature width " << feats.size());
+    auto x = nn::Tensor::fromData(1, dfir::kHandcraftedFeatureDim,
+                                  std::vector<float>(feats));
+    return nn::sigmoid(mlp_->forward(x));
+}
+
+nn::TensorPtr
+TensetMlpModel::loss(const std::vector<float>& feats, model::Metric m,
+                     long target) const
+{
+    nn::TensorPtr scores = scoreForward(feats);
+    nn::TensorPtr score = nn::sliceCols(scores, static_cast<int>(m), 1);
+    return nn::mseLoss(score, {scaler_.normalize(m, target)});
+}
+
+long
+TensetMlpModel::predict(const std::vector<float>& feats,
+                        model::Metric m) const
+{
+    nn::TensorPtr scores = scoreForward(feats);
+    return scaler_.denormalize(m, scores->at(0, static_cast<int>(m)));
+}
+
+std::vector<nn::TensorPtr>
+TensetMlpModel::parameters() const
+{
+    return mlp_->parameters();
+}
+
+} // namespace baselines
+} // namespace llmulator

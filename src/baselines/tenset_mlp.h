@@ -1,0 +1,68 @@
+#ifndef LLMULATOR_BASELINES_TENSET_MLP_H
+#define LLMULATOR_BASELINES_TENSET_MLP_H
+
+/**
+ * @file
+ * Tenset-MLP baseline, per the paper's Section 7.1 description: an MLP
+ * cost model over handcrafted features that "captures limited input
+ * variability by extracting coarse-grained indicators such as loop bounds
+ * or tensor dimensions ... it treats all inputs with the same loop range or
+ * shape as equivalent, ignoring finer-grained control flow changes or
+ * value-dependent execution behaviors".
+ *
+ * The feature extractor is dfir::handcraftedFeatures, which sees scalar
+ * inputs (loop ranges / shapes) but never tensor *contents* — so two
+ * inputs with identical shapes but different data are indistinguishable.
+ */
+
+#include <memory>
+
+#include "baselines/regression_common.h"
+#include "dfir/analysis.h"
+#include "nn/layers.h"
+
+namespace llmulator {
+namespace baselines {
+
+/** Tenset-MLP configuration. */
+struct TensetMlpConfig
+{
+    int hidden = 48;
+    uint64_t seed = 13;
+};
+
+/** Handcrafted-feature MLP cost model. */
+class TensetMlpModel : public nn::Module
+{
+  public:
+    explicit TensetMlpModel(const TensetMlpConfig& cfg);
+
+    /** Extract features for a (program, scalar-inputs) pair. */
+    static std::vector<float>
+    features(const dfir::DataflowGraph& g,
+             const std::map<std::string, long>& scalar_inputs);
+
+    /** Record a training label so the scaler learns the range. */
+    void observeTarget(model::Metric m, long value);
+
+    /** MSE loss on the normalized target. */
+    nn::TensorPtr loss(const std::vector<float>& feats, model::Metric m,
+                       long target) const;
+
+    /** Denormalized point prediction. */
+    long predict(const std::vector<float>& feats, model::Metric m) const;
+
+    std::vector<nn::TensorPtr> parameters() const override;
+
+  private:
+    TensetMlpConfig cfg_;
+    std::unique_ptr<nn::Mlp> mlp_;
+    TargetScaler scaler_;
+
+    nn::TensorPtr scoreForward(const std::vector<float>& feats) const;
+};
+
+} // namespace baselines
+} // namespace llmulator
+
+#endif // LLMULATOR_BASELINES_TENSET_MLP_H

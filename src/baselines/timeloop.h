@@ -1,0 +1,42 @@
+#ifndef LLMULATOR_BASELINES_TIMELOOP_H
+#define LLMULATOR_BASELINES_TIMELOOP_H
+
+/**
+ * @file
+ * Timeloop-style analytical baseline (Parashar et al., ISPASS'19), used by
+ * the paper's Figure 11 comparison.
+ *
+ * Faithful limitations, per the paper's Section 7.2 discussion:
+ *  - "fundamentally limited to evaluating regular, loop-nest-based tensor
+ *    computations": only perfect nests of assignments are modeled natively;
+ *  - "it cannot natively model workloads with control flow variability":
+ *    conditional statements are handled by *decomposing* the operator —
+ *    branch bodies are charged as always-executed atomic tensor ops and
+ *    externally aggregated, "leading to reduced modeling fidelity";
+ *  - analytical cost rules are hand-written and use their own (slightly
+ *    coarser) hardware abstractions, so systematic deviation from the
+ *    profiled ground truth arises exactly where the rules abstract away
+ *    port contention, pipelining fill and data-dependent execution.
+ */
+
+#include "dfir/ir.h"
+
+namespace llmulator {
+namespace baselines {
+
+/** Analytical evaluation result. */
+struct TimeloopResult
+{
+    bool fullySupported = true; //!< false if decomposition was required
+    double powerUw = 0;
+    double areaUm2 = 0;
+    long cycles = 0;
+};
+
+/** Evaluate a dataflow graph with the analytical rule set. */
+TimeloopResult timeloopEvaluate(const dfir::DataflowGraph& g);
+
+} // namespace baselines
+} // namespace llmulator
+
+#endif // LLMULATOR_BASELINES_TIMELOOP_H

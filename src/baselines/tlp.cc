@@ -1,0 +1,76 @@
+#include "baselines/tlp.h"
+
+#include "dfir/printer.h"
+#include "nn/ops.h"
+
+namespace llmulator {
+namespace baselines {
+
+namespace {
+
+tokenizer::TokenizerConfig
+noEncConfig()
+{
+    tokenizer::TokenizerConfig tc;
+    tc.progressiveNumbers = false; // whole-number tokens, TLP-style
+    return tc;
+}
+
+} // namespace
+
+TlpModel::TlpModel(const TlpConfig& cfg) : cfg_(cfg), tok_(noEncConfig())
+{
+    cfg_.enc.vocab = tok_.vocabSize();
+    util::Rng rng(cfg_.seed);
+    encoder_ = std::make_unique<nn::TransformerEncoder>(cfg_.enc, rng);
+    for (int m = 0; m < model::kNumMetrics; ++m)
+        heads_[m] = std::make_unique<nn::Linear>(cfg_.enc.dim, 1, rng);
+}
+
+std::vector<int>
+TlpModel::encode(const dfir::DataflowGraph& g) const
+{
+    return tok_.encode(dfir::printStatic(g));
+}
+
+void
+TlpModel::observeTarget(model::Metric m, long value)
+{
+    scaler_.observe(m, value);
+}
+
+nn::TensorPtr
+TlpModel::scoreForward(const std::vector<int>& tokens, model::Metric m) const
+{
+    nn::TensorPtr hidden = encoder_->forward(tokens);
+    nn::TensorPtr pooled = nn::TransformerEncoder::pooled(hidden);
+    return nn::sigmoid(heads_[static_cast<int>(m)]->forward(pooled));
+}
+
+nn::TensorPtr
+TlpModel::loss(const std::vector<int>& tokens, model::Metric m,
+               long target) const
+{
+    nn::TensorPtr score = scoreForward(tokens, m);
+    return nn::mseLoss(score, {scaler_.normalize(m, target)});
+}
+
+long
+TlpModel::predict(const std::vector<int>& tokens, model::Metric m) const
+{
+    nn::TensorPtr score = scoreForward(tokens, m);
+    return scaler_.denormalize(m, score->value[0]);
+}
+
+std::vector<nn::TensorPtr>
+TlpModel::parameters() const
+{
+    std::vector<nn::TensorPtr> out = encoder_->parameters();
+    for (int m = 0; m < model::kNumMetrics; ++m)
+        for (const auto& p : heads_[m]->parameters())
+            out.push_back(p);
+    return out;
+}
+
+} // namespace baselines
+} // namespace llmulator

@@ -1,0 +1,73 @@
+#ifndef LLMULATOR_BASELINES_TLP_H
+#define LLMULATOR_BASELINES_TLP_H
+
+/**
+ * @file
+ * TLP baseline (Zhai et al., ASPLOS'23), per the paper's Section 7.1
+ * description: a language-model regressor over program text that "employs a
+ * direct regression model that outputs fixed normalized performance values
+ * and does not use [a] pre-trained model".
+ *
+ * Differences from LLMulator, faithfully reproduced:
+ *  - whole-number tokenization (no progressive digit isolation),
+ *  - sigmoid-bounded scalar heads trained with MSE on min-max-normalized
+ *    targets (so out-of-range magnitudes are unreachable),
+ *  - no runtime-data segment (input-insensitive),
+ *  - no calibration, no attention masking.
+ */
+
+#include <memory>
+
+#include "baselines/regression_common.h"
+#include "dfir/ir.h"
+#include "nn/layers.h"
+#include "tokenizer/tokenizer.h"
+
+namespace llmulator {
+namespace baselines {
+
+/** TLP configuration. */
+struct TlpConfig
+{
+    nn::EncoderConfig enc; //!< vocab filled from the tokenizer
+    uint64_t seed = 7;
+};
+
+/** Transformer-regression cost model. */
+class TlpModel : public nn::Module
+{
+  public:
+    explicit TlpModel(const TlpConfig& cfg);
+
+    /** Tokenize the static program text (TLP never sees runtime data). */
+    std::vector<int> encode(const dfir::DataflowGraph& g) const;
+
+    /** Record a training label so the scaler learns the range. */
+    void observeTarget(model::Metric m, long value);
+
+    /** MSE loss on the normalized target. */
+    nn::TensorPtr loss(const std::vector<int>& tokens, model::Metric m,
+                       long target) const;
+
+    /** Denormalized point prediction. */
+    long predict(const std::vector<int>& tokens, model::Metric m) const;
+
+    std::vector<nn::TensorPtr> parameters() const override;
+
+    const TargetScaler& scaler() const { return scaler_; }
+
+  private:
+    TlpConfig cfg_;
+    tokenizer::Tokenizer tok_; //!< NoEnc regime
+    std::unique_ptr<nn::TransformerEncoder> encoder_;
+    std::unique_ptr<nn::Linear> heads_[model::kNumMetrics];
+    TargetScaler scaler_;
+
+    nn::TensorPtr scoreForward(const std::vector<int>& tokens,
+                               model::Metric m) const;
+};
+
+} // namespace baselines
+} // namespace llmulator
+
+#endif // LLMULATOR_BASELINES_TLP_H

@@ -1,0 +1,117 @@
+#include "calib/dpo.h"
+
+#include <cmath>
+
+#include "nn/ops.h"
+
+namespace llmulator {
+namespace calib {
+
+ReplayBuffer::ReplayBuffer(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity)
+{
+}
+
+void
+ReplayBuffer::push(PreferenceTriplet t)
+{
+    buf_.push_back(std::move(t));
+    while (buf_.size() > capacity_)
+        buf_.pop_front();
+}
+
+std::vector<const PreferenceTriplet*>
+ReplayBuffer::sample(util::Rng& rng, size_t n) const
+{
+    std::vector<const PreferenceTriplet*> out;
+    if (buf_.empty())
+        return out;
+    for (size_t i = 0; i < n; ++i)
+        out.push_back(&buf_[rng.index(buf_.size())]);
+    return out;
+}
+
+DpoCalibrator::DpoCalibrator(model::CostModel& policy, const DpoConfig& cfg)
+    : policy_(policy), ref_(policy.clone()), cfg_(cfg),
+      opt_(policy.parameters(),
+           nn::AdamWConfig{cfg.lr, 0.9f, 0.999f, 1e-8f, 0.f, 1.0f}),
+      buffer_(cfg.bufferCapacity), rng_(cfg.seed)
+{
+}
+
+model::NumericPrediction
+DpoCalibrator::predict(const model::EncodedProgram& ep) const
+{
+    return policy_.predict(ep, model::Metric::Cycles, cfg_.beamWidth);
+}
+
+double
+DpoCalibrator::dpoStep(const PreferenceTriplet& t)
+{
+    using model::Metric;
+    if (t.yw == t.yl)
+        return 0.0; // identical sequences carry no preference signal
+
+    float ref_diff = t.refDiff; // precomputed at triplet creation
+
+    // Policy log-probabilities (with gradient). One encoder forward is
+    // shared between the two sequences.
+    nn::TensorPtr pooled = policy_.pooledForward(t.input);
+    const model::DigitHead& head = policy_.head(Metric::Cycles);
+    auto logits_w = head.teacherForcedLogits(pooled, t.yw);
+    auto lw = nn::sequenceLogProb(logits_w, t.yw);
+    auto ll = nn::sequenceLogProb(head.teacherForcedLogits(pooled, t.yl),
+                                  t.yl);
+
+    // z = (log pi(yw) - log pi(yl)) - (log ref(yw) - log ref(yl));
+    // loss = -log sigmoid(beta z) = softplus(-beta z),
+    // plus the supervised anchor on the profiled digits.
+    auto z = nn::add(nn::sub(lw, ll), nn::Tensor::scalar(-ref_diff));
+    auto loss = nn::softplus(nn::scale(z, -cfg_.beta));
+    if (cfg_.sftWeight > 0.f)
+        loss = nn::add(loss,
+                       nn::scale(nn::crossEntropyLogits(logits_w, t.yw),
+                                 cfg_.sftWeight));
+
+    opt_.zeroGrad();
+    loss->backward();
+    opt_.step();
+    return loss->value[0];
+}
+
+double
+DpoCalibrator::observe(const model::EncodedProgram& ep, long true_cycles)
+{
+    using model::Metric;
+    model::NumericPrediction pred = predict(ep);
+    double err =
+        true_cycles != 0
+            ? std::fabs(double(pred.value) - double(true_cycles)) /
+                  std::fabs(double(true_cycles))
+            : (pred.value == 0 ? 0.0 : 1.0);
+
+    const auto& head_cfg = policy_.head(Metric::Cycles).cfg;
+    PreferenceTriplet t;
+    t.input = ep;
+    t.yw = model::toDigits(true_cycles, head_cfg.base, head_cfg.width);
+    t.yl = pred.digits;
+    if (t.yw != t.yl) {
+        // One reference forward shared by both sequences.
+        nn::TensorPtr ref_pooled = ref_->pooledForward(t.input);
+        const model::DigitHead& ref_head = ref_->head(Metric::Cycles);
+        auto ref_lw = nn::sequenceLogProb(
+            ref_head.teacherForcedLogits(ref_pooled, t.yw), t.yw);
+        auto ref_ll = nn::sequenceLogProb(
+            ref_head.teacherForcedLogits(ref_pooled, t.yl), t.yl);
+        t.refDiff = ref_lw->value[0] - ref_ll->value[0];
+    }
+    buffer_.push(std::move(t));
+
+    auto batch = buffer_.sample(rng_, static_cast<size_t>(cfg_.minibatch));
+    for (const auto* triplet : batch)
+        dpoStep(*triplet);
+    return err;
+}
+
+} // namespace calib
+} // namespace llmulator

@@ -1,0 +1,89 @@
+#ifndef LLMULATOR_DFIR_ANALYSIS_H
+#define LLMULATOR_DFIR_ANALYSIS_H
+
+/**
+ * @file
+ * Static analyses over the dataflow IR.
+ *
+ * This module substitutes for the paper's use of Frama-C (Section 7.1):
+ *  - operator control-flow classification into Class I (input-independent)
+ *    and Class II (input-dependent), used by dynamic control-flow
+ *    separation (Section 5.2);
+ *  - handcrafted coarse features (loop bounds, depths, op histograms) for
+ *    the Tenset-MLP baseline;
+ *  - program-graph extraction (nodes/edges with feature vectors) for the
+ *    GNNHLS baseline.
+ */
+
+#include <string>
+#include <vector>
+
+#include "dfir/ir.h"
+
+namespace llmulator {
+namespace dfir {
+
+/** Control-flow class of an operator (paper Section 5.2). */
+enum class ControlFlowClass
+{
+    ClassI,  //!< control flow independent of runtime inputs
+    ClassII  //!< loop bounds / branches reference params or array data
+};
+
+/**
+ * Classify one operator: Class II iff any loop bound or branch condition
+ * references a scalar parameter (runtime function input) or array element.
+ */
+ControlFlowClass classifyOperator(const Operator& op);
+
+/** Number of distinct dynamic (control-flow-relevant) scalar parameters. */
+int countDynamicParams(const DataflowGraph& g);
+
+/**
+ * Estimate a compile-time value for an expression: params resolve through
+ * 'param_defaults' (fallback 'fallback'), array refs resolve to 'fallback'.
+ */
+long estimateExpr(const ExprPtr& e,
+                  const std::map<std::string, long>& param_defaults,
+                  long fallback = 32);
+
+/** Width of the handcrafted feature vector (Tenset-MLP input). */
+constexpr int kHandcraftedFeatureDim = 24;
+
+/**
+ * Coarse features of the whole program under hardware params: log trip
+ * counts, loop depths, operation histograms, pragma totals, memory
+ * parameters. Deliberately ignores concrete input *values* (only shapes /
+ * bounds), reproducing Tenset-MLP's input-insensitivity that Table 3
+ * penalizes.
+ */
+std::vector<float> handcraftedFeatures(
+    const DataflowGraph& g, const std::map<std::string, long>& scalar_inputs);
+
+/** Node kinds of the extracted program graph. */
+enum class NodeKind { Graph, Op, Loop, Assign, If, Array };
+
+/** Feature width per program-graph node (GNNHLS input). */
+constexpr int kNodeFeatureDim = 14;
+
+/** Program graph: per-node features + undirected adjacency lists. */
+struct ProgramGraph
+{
+    std::vector<NodeKind> kinds;
+    std::vector<std::vector<float>> features; //!< [n][kNodeFeatureDim]
+    std::vector<std::vector<int>> adj;        //!< neighbor indices
+
+    int numNodes() const { return static_cast<int>(kinds.size()); }
+};
+
+/**
+ * Extract the GNNHLS-style program graph: one Graph root, one node per
+ * operator / loop / statement / array, nesting edges, call-order edges and
+ * array-sharing edges.
+ */
+ProgramGraph extractProgramGraph(const DataflowGraph& g);
+
+} // namespace dfir
+} // namespace llmulator
+
+#endif // LLMULATOR_DFIR_ANALYSIS_H

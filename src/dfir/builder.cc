@@ -1,0 +1,117 @@
+#include "dfir/builder.h"
+
+namespace llmulator {
+namespace dfir {
+
+ExprPtr
+c(long value)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::Const;
+    e->constVal = value;
+    return e;
+}
+
+ExprPtr
+v(const std::string& name)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::LoopVar;
+    e->name = name;
+    return e;
+}
+
+ExprPtr
+p(const std::string& name)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::Param;
+    e->name = name;
+    return e;
+}
+
+ExprPtr
+a(const std::string& name, std::vector<ExprPtr> idx)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::ArrayRef;
+    e->name = name;
+    e->args = std::move(idx);
+    return e;
+}
+
+ExprPtr
+bin(BinOp op, ExprPtr lhs, ExprPtr rhs)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::Binary;
+    e->op = op;
+    e->args = {std::move(lhs), std::move(rhs)};
+    return e;
+}
+
+ExprPtr badd(ExprPtr l, ExprPtr r) { return bin(BinOp::Add, l, r); }
+ExprPtr bsub(ExprPtr l, ExprPtr r) { return bin(BinOp::Sub, l, r); }
+ExprPtr bmul(ExprPtr l, ExprPtr r) { return bin(BinOp::Mul, l, r); }
+ExprPtr bdiv(ExprPtr l, ExprPtr r) { return bin(BinOp::Div, l, r); }
+ExprPtr bmax(ExprPtr l, ExprPtr r) { return bin(BinOp::Max, l, r); }
+ExprPtr bmin(ExprPtr l, ExprPtr r) { return bin(BinOp::Min, l, r); }
+ExprPtr blt(ExprPtr l, ExprPtr r) { return bin(BinOp::Lt, l, r); }
+ExprPtr bgt(ExprPtr l, ExprPtr r) { return bin(BinOp::Gt, l, r); }
+
+StmtPtr
+assign(const std::string& target, std::vector<ExprPtr> idx, ExprPtr rhs)
+{
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::Assign;
+    s->target = target;
+    s->targetIdx = std::move(idx);
+    s->rhs = std::move(rhs);
+    return s;
+}
+
+StmtPtr
+assignScalar(const std::string& target, ExprPtr rhs)
+{
+    return assign(target, {}, std::move(rhs));
+}
+
+StmtPtr
+ifStmt(ExprPtr cond, std::vector<StmtPtr> then_body,
+       std::vector<StmtPtr> else_body)
+{
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::If;
+    s->cond = std::move(cond);
+    s->thenBody = std::move(then_body);
+    s->elseBody = std::move(else_body);
+    return s;
+}
+
+StmtPtr
+forLoop(const std::string& var, ExprPtr lower, ExprPtr upper,
+        std::vector<StmtPtr> body, int step, int unroll, bool parallel)
+{
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::For;
+    s->loop.var = var;
+    s->loop.lower = std::move(lower);
+    s->loop.upper = std::move(upper);
+    s->loop.step = step;
+    s->loop.unroll = unroll;
+    s->loop.parallel = parallel;
+    s->body = std::move(body);
+    return s;
+}
+
+TensorDecl
+tensor(const std::string& name, std::vector<ExprPtr> dims)
+{
+    TensorDecl t;
+    t.name = name;
+    t.dims = std::move(dims);
+    return t;
+}
+
+} // namespace dfir
+} // namespace llmulator

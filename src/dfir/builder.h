@@ -1,0 +1,65 @@
+#ifndef LLMULATOR_DFIR_BUILDER_H
+#define LLMULATOR_DFIR_BUILDER_H
+
+/**
+ * @file
+ * Terse construction helpers for hand-written workloads and the dataset
+ * synthesizer. Example (GEMM inner statement):
+ *
+ *   assign("C", {v("i"), v("j")},
+ *          badd(a("C", {v("i"), v("j")}),
+ *               bmul(a("A", {v("i"), v("k")}), a("B", {v("k"), v("j")}))));
+ */
+
+#include "dfir/ir.h"
+
+namespace llmulator {
+namespace dfir {
+
+/** Integer literal. */
+ExprPtr c(long value);
+
+/** Loop variable reference. */
+ExprPtr v(const std::string& name);
+
+/** Scalar parameter reference. */
+ExprPtr p(const std::string& name);
+
+/** Array element reference. */
+ExprPtr a(const std::string& name, std::vector<ExprPtr> idx);
+
+/** Binary node. */
+ExprPtr bin(BinOp op, ExprPtr lhs, ExprPtr rhs);
+
+ExprPtr badd(ExprPtr l, ExprPtr r);
+ExprPtr bsub(ExprPtr l, ExprPtr r);
+ExprPtr bmul(ExprPtr l, ExprPtr r);
+ExprPtr bdiv(ExprPtr l, ExprPtr r);
+ExprPtr bmax(ExprPtr l, ExprPtr r);
+ExprPtr bmin(ExprPtr l, ExprPtr r);
+ExprPtr blt(ExprPtr l, ExprPtr r);
+ExprPtr bgt(ExprPtr l, ExprPtr r);
+
+/** Assignment statement. */
+StmtPtr assign(const std::string& target, std::vector<ExprPtr> idx,
+               ExprPtr rhs);
+
+/** Scalar assignment. */
+StmtPtr assignScalar(const std::string& target, ExprPtr rhs);
+
+/** Conditional statement. */
+StmtPtr ifStmt(ExprPtr cond, std::vector<StmtPtr> then_body,
+               std::vector<StmtPtr> else_body = {});
+
+/** Loop statement: for (var = lower; var < upper; var += step). */
+StmtPtr forLoop(const std::string& var, ExprPtr lower, ExprPtr upper,
+                std::vector<StmtPtr> body, int step = 1, int unroll = 1,
+                bool parallel = false);
+
+/** Tensor declaration helper. */
+TensorDecl tensor(const std::string& name, std::vector<ExprPtr> dims);
+
+} // namespace dfir
+} // namespace llmulator
+
+#endif // LLMULATOR_DFIR_BUILDER_H

@@ -1,0 +1,128 @@
+#include "dfir/ir.h"
+
+#include "util/string_util.h"
+
+namespace llmulator {
+namespace dfir {
+
+bool
+isPredicate(BinOp op)
+{
+    switch (op) {
+      case BinOp::Lt: case BinOp::Le: case BinOp::Gt: case BinOp::Ge:
+      case BinOp::Eq: case BinOp::Ne: case BinOp::And: case BinOp::Or:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char*
+binOpName(BinOp op)
+{
+    switch (op) {
+      case BinOp::Add: return "+";
+      case BinOp::Sub: return "-";
+      case BinOp::Mul: return "*";
+      case BinOp::Div: return "/";
+      case BinOp::Mod: return "%";
+      case BinOp::Min: return "min";
+      case BinOp::Max: return "max";
+      case BinOp::Lt: return "<";
+      case BinOp::Le: return "<=";
+      case BinOp::Gt: return ">";
+      case BinOp::Ge: return ">=";
+      case BinOp::Eq: return "==";
+      case BinOp::Ne: return "!=";
+      case BinOp::And: return "&&";
+      case BinOp::Or: return "||";
+    }
+    return "?";
+}
+
+const Operator*
+DataflowGraph::findOp(const std::string& op_name) const
+{
+    for (const auto& op : ops)
+        if (op.name == op_name)
+            return &op;
+    return nullptr;
+}
+
+namespace {
+
+uint64_t
+hashExpr(const ExprPtr& e)
+{
+    using util::hashCombine;
+    using util::fnv1a;
+    if (!e)
+        return 0x55aa;
+    uint64_t h = hashCombine(static_cast<uint64_t>(e->kind),
+                             static_cast<uint64_t>(e->op));
+    h = hashCombine(h, static_cast<uint64_t>(e->constVal));
+    h = hashCombine(h, fnv1a(e->name));
+    for (const auto& arg : e->args)
+        h = hashCombine(h, hashExpr(arg));
+    return h;
+}
+
+uint64_t
+hashStmt(const StmtPtr& s)
+{
+    using util::hashCombine;
+    using util::fnv1a;
+    uint64_t h = static_cast<uint64_t>(s->kind);
+    h = hashCombine(h, fnv1a(s->target));
+    for (const auto& idx : s->targetIdx)
+        h = hashCombine(h, hashExpr(idx));
+    h = hashCombine(h, hashExpr(s->rhs));
+    h = hashCombine(h, hashExpr(s->cond));
+    for (const auto& b : s->thenBody)
+        h = hashCombine(h, hashStmt(b));
+    for (const auto& b : s->elseBody)
+        h = hashCombine(h, hashStmt(b));
+    if (s->kind == StmtKind::For) {
+        h = hashCombine(h, fnv1a(s->loop.var));
+        h = hashCombine(h, hashExpr(s->loop.lower));
+        h = hashCombine(h, hashExpr(s->loop.upper));
+        h = hashCombine(h, static_cast<uint64_t>(s->loop.step));
+        h = hashCombine(h, static_cast<uint64_t>(s->loop.unroll));
+        h = hashCombine(h, static_cast<uint64_t>(s->loop.parallel));
+    }
+    for (const auto& b : s->body)
+        h = hashCombine(h, hashStmt(b));
+    return h;
+}
+
+} // namespace
+
+uint64_t
+structuralHash(const DataflowGraph& g)
+{
+    using util::hashCombine;
+    using util::fnv1a;
+    uint64_t h = fnv1a(g.name);
+    for (const auto& op : g.ops) {
+        h = hashCombine(h, fnv1a(op.name));
+        for (const auto& t : op.tensors) {
+            h = hashCombine(h, fnv1a(t.name));
+            for (const auto& d : t.dims)
+                h = hashCombine(h, hashExpr(d));
+        }
+        for (const auto& sp : op.scalarParams)
+            h = hashCombine(h, fnv1a(sp));
+        for (const auto& s : op.body)
+            h = hashCombine(h, hashStmt(s));
+    }
+    for (const auto& call : g.calls)
+        h = hashCombine(h, fnv1a(call.opName));
+    h = hashCombine(h, static_cast<uint64_t>(g.params.memReadDelay));
+    h = hashCombine(h, static_cast<uint64_t>(g.params.memWriteDelay));
+    h = hashCombine(h, static_cast<uint64_t>(g.params.readPorts));
+    h = hashCombine(h, static_cast<uint64_t>(g.params.writePorts));
+    return h;
+}
+
+} // namespace dfir
+} // namespace llmulator

@@ -1,0 +1,66 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "util/common.h"
+
+namespace llmulator {
+namespace eval {
+
+double
+absPctError(long pred, long truth)
+{
+    if (truth == 0)
+        return pred == 0 ? 0.0 : 1.0;
+    return std::fabs(static_cast<double>(pred) -
+                     static_cast<double>(truth)) /
+           std::fabs(static_cast<double>(truth));
+}
+
+double
+mean(const std::vector<double>& xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+mse(const std::vector<long>& pred, const std::vector<long>& truth)
+{
+    LLM_CHECK(pred.size() == truth.size(), "mse size mismatch");
+    if (pred.empty())
+        return 0.0;
+    double s = 0;
+    for (size_t i = 0; i < pred.size(); ++i) {
+        double d = static_cast<double>(pred[i]) -
+                   static_cast<double>(truth[i]);
+        s += d * d;
+    }
+    return s / static_cast<double>(pred.size());
+}
+
+double
+pearson(const std::vector<double>& a, const std::vector<double>& b)
+{
+    LLM_CHECK(a.size() == b.size(), "pearson size mismatch");
+    size_t n = a.size();
+    if (n < 2)
+        return 0.0;
+    double ma = mean(a), mb = mean(b);
+    double num = 0, va = 0, vb = 0;
+    for (size_t i = 0; i < n; ++i) {
+        num += (a[i] - ma) * (b[i] - mb);
+        va += (a[i] - ma) * (a[i] - ma);
+        vb += (b[i] - mb) * (b[i] - mb);
+    }
+    if (va <= 0 || vb <= 0)
+        return 0.0;
+    return num / std::sqrt(va * vb);
+}
+
+} // namespace eval
+} // namespace llmulator

@@ -1,0 +1,30 @@
+#ifndef LLMULATOR_EVAL_METRICS_H
+#define LLMULATOR_EVAL_METRICS_H
+
+/**
+ * @file
+ * Accuracy metrics used by the evaluation (paper Section 7.1): MAPE, MSE
+ * and the Pearson correlation used by the confidence analysis (Table 6).
+ */
+
+#include <vector>
+
+namespace llmulator {
+namespace eval {
+
+/** |pred - truth| / |truth| (0 if both zero, 1 if only truth is zero). */
+double absPctError(long pred, long truth);
+
+/** Mean of a vector (MAPE when fed absPctError values). */
+double mean(const std::vector<double>& xs);
+
+/** Mean squared error between prediction/truth pairs. */
+double mse(const std::vector<long>& pred, const std::vector<long>& truth);
+
+/** Pearson correlation coefficient; 0 when degenerate. */
+double pearson(const std::vector<double>& a, const std::vector<double>& b);
+
+} // namespace eval
+} // namespace llmulator
+
+#endif // LLMULATOR_EVAL_METRICS_H

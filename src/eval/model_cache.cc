@@ -1,0 +1,39 @@
+#include "eval/model_cache.h"
+
+#include <cstdlib>
+#include <sys/stat.h>
+
+#include "nn/serialize.h"
+
+namespace llmulator {
+namespace eval {
+
+std::string
+cacheDir()
+{
+    const char* env = std::getenv("LLMULATOR_CACHE_DIR");
+    std::string dir = env ? env : ".model_cache";
+    ::mkdir(dir.c_str(), 0755); // best effort; EEXIST is fine
+    return dir;
+}
+
+std::string
+cachePath(const std::string& key)
+{
+    return cacheDir() + "/" + key + ".bin";
+}
+
+bool
+loadCached(const std::string& key, const std::vector<nn::TensorPtr>& params)
+{
+    return nn::loadParameters(cachePath(key), params);
+}
+
+void
+storeCached(const std::string& key, const std::vector<nn::TensorPtr>& params)
+{
+    nn::saveParameters(cachePath(key), params);
+}
+
+} // namespace eval
+} // namespace llmulator

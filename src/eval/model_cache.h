@@ -1,0 +1,38 @@
+#ifndef LLMULATOR_EVAL_MODEL_CACHE_H
+#define LLMULATOR_EVAL_MODEL_CACHE_H
+
+/**
+ * @file
+ * On-disk cache of trained parameters so the eleven bench binaries share
+ * training artifacts instead of retraining (one CPU core budget). Keys
+ * combine a caller tag with config/dataset hashes; the cache directory is
+ * $LLMULATOR_CACHE_DIR or <repo>/.model_cache.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace llmulator {
+namespace eval {
+
+/** Resolve (and create) the cache directory. */
+std::string cacheDir();
+
+/** Full path for a cache key. */
+std::string cachePath(const std::string& key);
+
+/** Try to load parameters for key; false on miss/mismatch. */
+bool loadCached(const std::string& key,
+                const std::vector<nn::TensorPtr>& params);
+
+/** Store parameters under key (best effort). */
+void storeCached(const std::string& key,
+                 const std::vector<nn::TensorPtr>& params);
+
+} // namespace eval
+} // namespace llmulator
+
+#endif // LLMULATOR_EVAL_MODEL_CACHE_H

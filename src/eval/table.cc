@@ -1,0 +1,68 @@
+#include "eval/table.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace llmulator {
+namespace eval {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    row.resize(header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::str() const
+{
+    std::vector<size_t> widths(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::string out;
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            out += util::padRight(row[c], widths[c]);
+            out += c + 1 < row.size() ? "  " : "";
+        }
+        out += "\n";
+    };
+    emit(header_);
+    std::string rule;
+    for (size_t c = 0; c < header_.size(); ++c) {
+        rule += std::string(widths[c], '-');
+        rule += c + 1 < header_.size() ? "  " : "";
+    }
+    out += rule + "\n";
+    for (const auto& row : rows_)
+        emit(row);
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(str().c_str(), stdout);
+}
+
+std::string
+pct(double fraction)
+{
+    return util::format("%.1f%%", fraction * 100.0);
+}
+
+std::string
+secs(double seconds)
+{
+    return util::format("%.3f", seconds);
+}
+
+} // namespace eval
+} // namespace llmulator

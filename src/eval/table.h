@@ -1,0 +1,45 @@
+#ifndef LLMULATOR_EVAL_TABLE_H
+#define LLMULATOR_EVAL_TABLE_H
+
+/**
+ * @file
+ * Plain-text table printer used by every bench binary to emit the paper's
+ * tables in the same row/column layout.
+ */
+
+#include <string>
+#include <vector>
+
+namespace llmulator {
+namespace eval {
+
+/** Column-aligned text table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append one row (short rows are padded with empty cells). */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with aligned columns. */
+    std::string str() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** "12.3%" formatting for a [0,1] fraction. */
+std::string pct(double fraction);
+
+/** Fixed-precision seconds, e.g. "1.04". */
+std::string secs(double seconds);
+
+} // namespace eval
+} // namespace llmulator
+
+#endif // LLMULATOR_EVAL_TABLE_H

@@ -1,0 +1,243 @@
+#include "hls/compile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "dfir/analysis.h"
+#include "util/common.h"
+
+namespace llmulator {
+namespace hls {
+
+namespace {
+
+using dfir::BinOp;
+using dfir::Expr;
+using dfir::ExprKind;
+using dfir::ExprPtr;
+using dfir::Stmt;
+using dfir::StmtKind;
+using dfir::StmtPtr;
+
+/** Spatial parallel lanes are bounded by realistic array partitioning. */
+constexpr int kMaxParallelLanes = 8;
+
+/** Per-statement functional-unit demand. */
+struct Demand
+{
+    long need[hw::kNumFuKinds] = {0};
+    long reads = 0;
+    long writes = 0;
+};
+
+void
+countExprDemand(const ExprPtr& e, Demand& d)
+{
+    if (!e)
+        return;
+    if (e->kind == ExprKind::ArrayRef) {
+        ++d.reads;
+    } else if (e->kind == ExprKind::Binary) {
+        switch (e->op) {
+          case BinOp::Add: case BinOp::Sub:
+          case BinOp::Min: case BinOp::Max:
+            ++d.need[static_cast<int>(hw::FuKind::AddSub)];
+            break;
+          case BinOp::Mul:
+            ++d.need[static_cast<int>(hw::FuKind::Mul)];
+            break;
+          case BinOp::Div: case BinOp::Mod:
+            ++d.need[static_cast<int>(hw::FuKind::Div)];
+            break;
+          default:
+            ++d.need[static_cast<int>(hw::FuKind::Cmp)];
+            break;
+        }
+    }
+    for (const auto& arg : e->args)
+        countExprDemand(arg, d);
+}
+
+/** Binder state accumulated while walking one operator. */
+struct BindState
+{
+    // Allocated = max simultaneous demand across control steps.
+    long allocated[hw::kNumFuKinds] = {0};
+    // Number of control steps (statements) demanding each kind: >1 implies
+    // operand muxing in front of the shared units.
+    long usersOfKind[hw::kNumFuKinds] = {0};
+    long totalDemand[hw::kNumFuKinds] = {0};
+    long fsmStates = 0;
+    long loopCounters = 0;
+    long pipelineRegs = 0;
+    long conflicts = 0;
+    std::set<std::string> arrays;
+};
+
+void
+bindStmt(const StmtPtr& s, long replication,
+         const dfir::HardwareParams& params, BindState& bs)
+{
+    switch (s->kind) {
+      case StmtKind::Assign: {
+        Demand d;
+        countExprDemand(s->rhs, d);
+        for (const auto& idx : s->targetIdx)
+            countExprDemand(idx, d);
+        if (!s->targetIdx.empty()) {
+            ++d.writes;
+            bs.arrays.insert(s->target);
+        }
+        bs.fsmStates += 1;
+        for (int k = 0; k < hw::kNumFuKinds; ++k) {
+            long need = d.need[k] * replication;
+            bs.allocated[k] = std::max(bs.allocated[k], need);
+            bs.totalDemand[k] += need;
+            if (need > 0)
+                ++bs.usersOfKind[k];
+        }
+        // Pipeline/operand registers: one 32-bit register per produced
+        // intermediate value, replicated spatially.
+        long ops = 0;
+        for (int k = 0; k < hw::kNumFuKinds; ++k)
+            ops += d.need[k];
+        bs.pipelineRegs += (ops + 1) * replication;
+        // Port over-subscription is a performance conflict the scheduler
+        // must serialize around (reported in the reasoning features).
+        bs.conflicts += std::max<long>(0, d.reads * replication -
+                                              params.readPorts);
+        bs.conflicts += std::max<long>(0, d.writes * replication -
+                                               params.writePorts);
+        break;
+      }
+      case StmtKind::If: {
+        Demand d;
+        countExprDemand(s->cond, d);
+        bs.fsmStates += 2; // evaluate + branch
+        for (int k = 0; k < hw::kNumFuKinds; ++k) {
+            long need = d.need[k] * replication;
+            bs.allocated[k] = std::max(bs.allocated[k], need);
+            bs.totalDemand[k] += need;
+            if (need > 0)
+                ++bs.usersOfKind[k];
+        }
+        for (const auto& b : s->thenBody)
+            bindStmt(b, replication, params, bs);
+        for (const auto& b : s->elseBody)
+            bindStmt(b, replication, params, bs);
+        break;
+      }
+      case StmtKind::For: {
+        long rep = replication * std::max(1, s->loop.unroll);
+        if (s->loop.parallel)
+            rep *= kMaxParallelLanes;
+        bs.fsmStates += 2; // init + exit test
+        bs.loopCounters += replication;
+        for (const auto& b : s->body)
+            bindStmt(b, rep, params, bs);
+        break;
+      }
+    }
+}
+
+} // namespace
+
+RtlFeatures
+compileOperator(const dfir::Operator& op, const dfir::HardwareParams& params)
+{
+    BindState bs;
+    for (const auto& t : op.tensors)
+        bs.arrays.insert(t.name);
+    for (const auto& s : op.body)
+        bindStmt(s, 1, params, bs);
+
+    RtlFeatures rtl;
+    rtl.fsmStates = bs.fsmStates + 2; // entry/exit states
+    rtl.performanceConflicts = bs.conflicts;
+
+    long fu_total = 0;
+    for (int k = 0; k < hw::kNumFuKinds; ++k) {
+        rtl.fuCount[k] = bs.allocated[k];
+        fu_total += bs.allocated[k];
+        // Sharing muxes: every control step beyond the first steering a
+        // shared unit kind adds one 2:1 mux per allocated unit input pair.
+        if (bs.usersOfKind[k] > 1)
+            rtl.allocatedMuxes +=
+                (bs.usersOfKind[k] - 1) * std::max<long>(1, bs.allocated[k]);
+    }
+    // Control muxes: the FSM steers datapath selects.
+    rtl.allocatedMuxes += rtl.fsmStates / 2;
+
+    // Memory ports: each array is banked with the configured port counts.
+    long mem_ports = static_cast<long>(bs.arrays.size()) *
+                     (params.readPorts + params.writePorts);
+    rtl.fuCount[static_cast<int>(hw::FuKind::MemPort)] = mem_ports;
+
+    long regs = bs.loopCounters + bs.pipelineRegs;
+    rtl.fuCount[static_cast<int>(hw::FuKind::Reg)] = regs;
+    rtl.fuCount[static_cast<int>(hw::FuKind::Fsm)] = rtl.fsmStates;
+    rtl.fuCount[static_cast<int>(hw::FuKind::Mux21)] = rtl.allocatedMuxes;
+
+    rtl.modulesInstantiated = 1 + fu_total + mem_ports;
+
+    // Metric roll-up from the technology library.
+    double area = 0, leak = 0, dyn = 0;
+    long ff = 0;
+    for (int k = 0; k < hw::kNumFuKinds; ++k) {
+        const hw::FuSpec& sp = hw::spec(static_cast<hw::FuKind>(k));
+        long n = rtl.fuCount[k];
+        area += n * sp.areaUm2;
+        leak += n * sp.leakageUw;
+        ff += n * sp.flipFlops;
+        // Dynamic power at a conventional 25% activity factor:
+        // pJ * GHz = mW, so scale to uW.
+        dyn += n * sp.energyPj * params.clockGhz * 1000.0 * 0.25;
+    }
+    rtl.muxAreaUm2 =
+        rtl.allocatedMuxes * hw::spec(hw::FuKind::Mux21).areaUm2;
+    rtl.areaUm2 = area;
+    rtl.flipFlops = ff;
+    rtl.powerUw = leak + dyn;
+    return rtl;
+}
+
+RtlFeatures
+compile(const dfir::DataflowGraph& g)
+{
+    RtlFeatures total;
+    // Each *distinct* operator is instantiated once as a module; repeated
+    // calls reuse the instance (Bambu-style function-level sharing).
+    std::set<std::string> seen;
+    for (const auto& call : g.calls) {
+        if (seen.count(call.opName))
+            continue;
+        seen.insert(call.opName);
+        const dfir::Operator* op = g.findOp(call.opName);
+        LLM_CHECK(op != nullptr, "call to unknown operator " << call.opName);
+        RtlFeatures r = compileOperator(*op, g.params);
+        total.modulesInstantiated += r.modulesInstantiated;
+        total.performanceConflicts += r.performanceConflicts;
+        total.allocatedMuxes += r.allocatedMuxes;
+        total.muxAreaUm2 += r.muxAreaUm2;
+        total.fsmStates += r.fsmStates;
+        total.flipFlops += r.flipFlops;
+        total.areaUm2 += r.areaUm2;
+        total.powerUw += r.powerUw;
+        for (int k = 0; k < hw::kNumFuKinds; ++k)
+            total.fuCount[k] += r.fuCount[k];
+    }
+    // Top-level dataflow controller.
+    total.fsmStates += static_cast<long>(g.calls.size()) + 2;
+    total.modulesInstantiated += 1;
+    const hw::FuSpec& fsm = hw::spec(hw::FuKind::Fsm);
+    long extra_states = static_cast<long>(g.calls.size()) + 2;
+    total.areaUm2 += extra_states * fsm.areaUm2;
+    total.flipFlops += extra_states * fsm.flipFlops;
+    total.powerUw += extra_states * fsm.leakageUw;
+    return total;
+}
+
+} // namespace hls
+} // namespace llmulator

@@ -1,0 +1,54 @@
+#ifndef LLMULATOR_HLS_COMPILE_H
+#define LLMULATOR_HLS_COMPILE_H
+
+/**
+ * @file
+ * HLS-like lowering from dataflow IR to RTL-level structure.
+ *
+ * This is the repository's substitute for Bambu + OpenROAD in the paper's
+ * profiling pipeline: a deterministic function from (program, pragmas,
+ * memory parameters) to
+ *  - RTL-level features (module / mux / FSM / conflict counts) that feed
+ *    the reasoning data format (paper Figure 8), and
+ *  - static metrics (area, power, flip-flop count) that are three of the
+ *    four prediction targets.
+ *
+ * The binder follows textbook HLS resource sharing: within an operator,
+ * functional units of a kind are allocated to the maximum simultaneous
+ * need across control steps (statements), with spatial replication from
+ * unroll/parallel pragmas; sharing across control steps inserts 2:1 muxes;
+ * the controller contributes FSM state elements; registers come from loop
+ * counters, pipeline stages and operand buffering.
+ */
+
+#include "dfir/ir.h"
+#include "hw/tech.h"
+
+namespace llmulator {
+namespace hls {
+
+/** RTL-level structural features of a compiled dataflow design. */
+struct RtlFeatures
+{
+    long modulesInstantiated = 0;  //!< operator instances + bound FUs
+    long performanceConflicts = 0; //!< memory-port over-subscriptions
+    long allocatedMuxes = 0;       //!< 2:1 muxes from sharing + control
+    double muxAreaUm2 = 0;         //!< area of the mux network
+    long fsmStates = 0;            //!< controller states
+    long flipFlops = 0;            //!< total FF count (a prediction target)
+    double areaUm2 = 0;            //!< total area (a prediction target)
+    double powerUw = 0;            //!< static power estimate (a target)
+    long fuCount[hw::kNumFuKinds] = {0}; //!< allocated units per kind
+};
+
+/** Compile (lower + bind + roll up) a whole dataflow graph. */
+RtlFeatures compile(const dfir::DataflowGraph& g);
+
+/** Compile a single operator under the graph's hardware parameters. */
+RtlFeatures compileOperator(const dfir::Operator& op,
+                            const dfir::HardwareParams& params);
+
+} // namespace hls
+} // namespace llmulator
+
+#endif // LLMULATOR_HLS_COMPILE_H

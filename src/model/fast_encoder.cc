@@ -1,0 +1,294 @@
+#include "model/fast_encoder.h"
+
+#include <cmath>
+
+#include "util/common.h"
+#include "util/string_util.h"
+
+namespace llmulator {
+namespace model {
+
+namespace {
+
+/** y[out] (+)= x[in] * W[in,out] + b — row-vector linear, raw floats. */
+void
+linearRow(const float* x, const nn::Tensor& w, const nn::Tensor& b, float* y)
+{
+    int in = w.rows, out = w.cols;
+    for (int j = 0; j < out; ++j)
+        y[j] = b.value[j];
+    for (int k = 0; k < in; ++k) {
+        float xv = x[k];
+        if (xv == 0.f)
+            continue;
+        const float* wrow = w.value.data() + size_t(k) * out;
+        for (int j = 0; j < out; ++j)
+            y[j] += xv * wrow[j];
+    }
+}
+
+/** In-place row layer norm with gain/bias. */
+void
+layerNormRow(const float* x, const nn::Tensor& gamma, const nn::Tensor& beta,
+             float* y, int n)
+{
+    float mean = 0.f;
+    for (int j = 0; j < n; ++j)
+        mean += x[j];
+    mean /= n;
+    float var = 0.f;
+    for (int j = 0; j < n; ++j) {
+        float d = x[j] - mean;
+        var += d * d;
+    }
+    var /= n;
+    float inv = 1.f / std::sqrt(var + 1e-5f);
+    for (int j = 0; j < n; ++j)
+        y[j] = gamma.value[j] * ((x[j] - mean) * inv) + beta.value[j];
+}
+
+float
+geluScalar(float v)
+{
+    float t = std::tanh(0.7978845608f * (v + 0.044715f * v * v * v));
+    return 0.5f * v * (1.f + t);
+}
+
+} // namespace
+
+InferenceSession::InferenceSession(const CostModel& model) : model_(model) {}
+
+InferenceSession::Layout
+InferenceSession::computeLayout(const EncodedProgram& ep) const
+{
+    Layout lay;
+    lay.n = std::min(ep.length(), model_.config().enc.maxSeq);
+    lay.reusable.assign(lay.n, 0);
+    lay.dataRow.assign(lay.n, 0);
+    lay.classIRow.assign(lay.n, 0);
+    lay.staticLen = lay.n;
+    for (const auto& r : ep.ranges) {
+        if (r.kind == SegmentKind::Data) {
+            lay.staticLen = std::min(lay.staticLen, r.begin);
+            for (int i = r.begin; i < r.end && i < lay.n; ++i)
+                lay.dataRow[i] = 1;
+        }
+    }
+    for (const auto& r : ep.ranges) {
+        bool reusable = (r.kind == SegmentKind::Op && r.classI) ||
+                        r.kind == SegmentKind::Params;
+        for (int i = r.begin; i < r.end && i < lay.n; ++i) {
+            if (i < lay.staticLen && reusable)
+                lay.reusable[i] = 1;
+            if (r.kind == SegmentKind::Op && r.classI)
+                lay.classIRow[i] = 1;
+        }
+    }
+    uint64_t key = 0x12345;
+    for (int i = 0; i < lay.staticLen; ++i)
+        key = util::hashCombine(key, static_cast<uint64_t>(ep.tokens[i]));
+    lay.staticKey = key;
+    return lay;
+}
+
+bool
+InferenceSession::blocked(const Layout& lay, int i, int j)
+{
+    return (lay.classIRow[i] && lay.dataRow[j]) ||
+           (lay.dataRow[i] && lay.classIRow[j]);
+}
+
+std::vector<float>
+InferenceSession::forwardPooled(const EncodedProgram& ep, const Layout& lay,
+                                bool partial)
+{
+    const nn::TransformerEncoder& enc = model_.encoder();
+    const int n = lay.n;
+    const int d = enc.cfg.dim;
+    const int heads = enc.cfg.heads;
+    const int hd = d / heads;
+    const int ffn = enc.cfg.ffn;
+    const int layers = static_cast<int>(enc.blocks.size());
+
+    // Row is recomputed unless partial mode can serve it from cache.
+    std::vector<uint8_t> reuse(n, 0);
+    if (partial) {
+        for (int i = 0; i < n && i < cacheLen_; ++i)
+            reuse[i] = lay.reusable[i] && cacheReusable_[i];
+    }
+
+    if (!partial) {
+        cacheLayers_.assign(layers, {});
+        for (auto& lc : cacheLayers_) {
+            lc.k.assign(size_t(n) * d, 0.f);
+            lc.v.assign(size_t(n) * d, 0.f);
+            lc.hout.assign(size_t(n) * d, 0.f);
+        }
+        cacheH0_.assign(size_t(n) * d, 0.f);
+    }
+
+    // ---- Embedding + positions ----
+    std::vector<float> h(size_t(n) * d);
+    const nn::Tensor& table = *enc.tok->table;
+    const nn::Tensor& pos = *enc.pos;
+    for (int i = 0; i < n; ++i) {
+        float* row = h.data() + size_t(i) * d;
+        if (reuse[i]) {
+            const float* src = cacheH0_.data() + size_t(i) * d;
+            std::copy(src, src + d, row);
+            ++stats_.rowsReused;
+            continue;
+        }
+        int tokid = ep.tokens[i];
+        const float* te = table.value.data() + size_t(tokid) * d;
+        const float* pe = pos.value.data() + size_t(i % enc.cfg.maxSeq) * d;
+        for (int j = 0; j < d; ++j)
+            row[j] = te[j] + pe[j];
+        ++stats_.rowsComputed;
+        if (!partial) {
+            float* dst = cacheH0_.data() + size_t(i) * d;
+            std::copy(row, row + d, dst);
+        }
+    }
+
+    std::vector<float> ln(size_t(n) * d), q(size_t(n) * d), k(size_t(n) * d),
+        v(size_t(n) * d), ctx(size_t(n) * d), scratch(std::max(d, ffn));
+    float inv_sqrt = 1.f / std::sqrt(static_cast<float>(hd));
+
+    for (int l = 0; l < layers; ++l) {
+        const nn::TransformerBlock& blk = *enc.blocks[l];
+        LayerCache& lc = cacheLayers_[l];
+
+        // LN1 + QKV projections (dirty rows only; cached rows pull K/V).
+        for (int i = 0; i < n; ++i) {
+            float* qrow = q.data() + size_t(i) * d;
+            float* krow = k.data() + size_t(i) * d;
+            float* vrow = v.data() + size_t(i) * d;
+            if (reuse[i]) {
+                const float* ck = lc.k.data() + size_t(i) * d;
+                const float* cv = lc.v.data() + size_t(i) * d;
+                std::copy(ck, ck + d, krow);
+                std::copy(cv, cv + d, vrow);
+                continue;
+            }
+            float* lrow = ln.data() + size_t(i) * d;
+            layerNormRow(h.data() + size_t(i) * d, *blk.ln1->gamma,
+                         *blk.ln1->beta, lrow, d);
+            linearRow(lrow, *blk.attn->wq->weight, *blk.attn->wq->bias, qrow);
+            linearRow(lrow, *blk.attn->wk->weight, *blk.attn->wk->bias, krow);
+            linearRow(lrow, *blk.attn->wv->weight, *blk.attn->wv->bias, vrow);
+            if (!partial) {
+                std::copy(krow, krow + d, lc.k.data() + size_t(i) * d);
+                std::copy(vrow, vrow + d, lc.v.data() + size_t(i) * d);
+            }
+        }
+
+        // Attention + FFN per row.
+        std::vector<float> scores(n);
+        for (int i = 0; i < n; ++i) {
+            float* hrow = h.data() + size_t(i) * d;
+            if (reuse[i]) {
+                const float* src = lc.hout.data() + size_t(i) * d;
+                std::copy(src, src + d, hrow);
+                continue;
+            }
+            float* crow = ctx.data() + size_t(i) * d;
+            for (int hh = 0; hh < heads; ++hh) {
+                const float* qh = q.data() + size_t(i) * d + hh * hd;
+                float mx = -1e30f;
+                for (int jj = 0; jj < n; ++jj) {
+                    if (blocked(lay, i, jj)) {
+                        scores[jj] = -1e30f;
+                        continue;
+                    }
+                    const float* kh = k.data() + size_t(jj) * d + hh * hd;
+                    float s = 0.f;
+                    for (int x = 0; x < hd; ++x)
+                        s += qh[x] * kh[x];
+                    s *= inv_sqrt;
+                    scores[jj] = s;
+                    mx = std::max(mx, s);
+                }
+                float sum = 0.f;
+                for (int jj = 0; jj < n; ++jj) {
+                    scores[jj] = std::exp(scores[jj] - mx);
+                    sum += scores[jj];
+                }
+                float invs = 1.f / sum;
+                float* out = crow + hh * hd;
+                for (int x = 0; x < hd; ++x)
+                    out[x] = 0.f;
+                for (int jj = 0; jj < n; ++jj) {
+                    float w = scores[jj] * invs;
+                    if (w < 1e-9f)
+                        continue;
+                    const float* vh = v.data() + size_t(jj) * d + hh * hd;
+                    for (int x = 0; x < hd; ++x)
+                        out[x] += w * vh[x];
+                }
+            }
+            // Output projection + residual.
+            linearRow(crow, *blk.attn->wo->weight, *blk.attn->wo->bias,
+                      scratch.data());
+            for (int x = 0; x < d; ++x)
+                hrow[x] += scratch[x];
+
+            // FFN with pre-LN + residual.
+            std::vector<float> f_in(d), f_mid(ffn);
+            layerNormRow(hrow, *blk.ln2->gamma, *blk.ln2->beta, f_in.data(),
+                         d);
+            linearRow(f_in.data(), *blk.ff1->weight, *blk.ff1->bias,
+                      f_mid.data());
+            for (int x = 0; x < ffn; ++x)
+                f_mid[x] = geluScalar(f_mid[x]);
+            linearRow(f_mid.data(), *blk.ff2->weight, *blk.ff2->bias,
+                      scratch.data());
+            for (int x = 0; x < d; ++x)
+                hrow[x] += scratch[x];
+
+            if (!partial) {
+                float* dst = lc.hout.data() + size_t(i) * d;
+                std::copy(hrow, hrow + d, dst);
+            }
+        }
+    }
+
+    // Final LN + mean pool.
+    std::vector<float> pooled(d, 0.f), lrow(d);
+    for (int i = 0; i < n; ++i) {
+        layerNormRow(h.data() + size_t(i) * d, *enc.lnFinal->gamma,
+                     *enc.lnFinal->beta, lrow.data(), d);
+        for (int j = 0; j < d; ++j)
+            pooled[j] += lrow[j];
+    }
+    for (int j = 0; j < d; ++j)
+        pooled[j] /= n;
+    return pooled;
+}
+
+NumericPrediction
+InferenceSession::predict(const EncodedProgram& ep, Metric m, bool use_cache,
+                          int beam_width)
+{
+    Layout lay = computeLayout(ep);
+    bool partial = use_cache && cacheValid_ && cacheKey_ == lay.staticKey &&
+                   cacheLen_ >= lay.staticLen;
+    std::vector<float> pooled = forwardPooled(ep, lay, partial);
+    if (partial) {
+        ++stats_.cachedForwards;
+    } else {
+        ++stats_.fullForwards;
+        cacheValid_ = true;
+        cacheKey_ = lay.staticKey;
+        cacheLen_ = lay.n;
+        cacheReusable_ = lay.reusable;
+    }
+
+    auto pooled_t = nn::Tensor::fromData(
+        1, static_cast<int>(pooled.size()),
+        std::vector<float>(pooled.begin(), pooled.end()));
+    return model_.head(m).decode(pooled_t, beam_width);
+}
+
+} // namespace model
+} // namespace llmulator

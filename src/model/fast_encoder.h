@@ -1,0 +1,104 @@
+#ifndef LLMULATOR_MODEL_FAST_ENCODER_H
+#define LLMULATOR_MODEL_FAST_ENCODER_H
+
+/**
+ * @file
+ * Dynamic prediction acceleration (paper Section 5.3).
+ *
+ * InferenceSession is an autograd-free forward path over the trained
+ * encoder with a progressive operator cache: when consecutive predictions
+ * share the static program prefix {G, Op, Params} and differ only in the
+ * runtime data segment, the session reuses the cached per-layer K/V rows
+ * and block outputs of *static-reusable* rows (Class I operators and the
+ * hardware-parameter segment, which the separation mask of Section 5.2
+ * decouples from data) and recomputes only the dynamic rows (graph
+ * function, Class II operators, data).
+ *
+ * As in the paper (Figure 6 and its corner-region discussion), reuse of a
+ * cached row's block output ignores multi-hop influence of the changed
+ * data through intermediate rows — that is precisely the approximation
+ * LLMulator makes to win the Table 5 / Table 9 latency reductions; the
+ * accompanying accuracy cost is measured, not assumed, by the benches.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "model/cost_model.h"
+
+namespace llmulator {
+namespace model {
+
+/** Latency/accuracy statistics of a session (for the runtime tables). */
+struct SessionStats
+{
+    long fullForwards = 0;   //!< forwards computed without cache reuse
+    long cachedForwards = 0; //!< forwards that reused the static prefix
+    long rowsComputed = 0;   //!< transformer rows actually evaluated
+    long rowsReused = 0;     //!< transformer rows served from cache
+};
+
+/** Cached, autograd-free inference over a trained CostModel. */
+class InferenceSession
+{
+  public:
+    explicit InferenceSession(const CostModel& model);
+
+    /**
+     * Predict one metric. With use_cache=true, a hit on the static-prefix
+     * key activates partial recomputation; any miss falls back to a full
+     * forward and re-primes the cache.
+     */
+    NumericPrediction predict(const EncodedProgram& ep, Metric m,
+                              bool use_cache, int beam_width = 3);
+
+    /** Drop the cached prefix (e.g. after a weight update). */
+    void invalidate() { cacheValid_ = false; }
+
+    const SessionStats& stats() const { return stats_; }
+
+  private:
+    const CostModel& model_;
+    SessionStats stats_;
+
+    // ---- cache of the last static prefix ----
+    bool cacheValid_ = false;
+    uint64_t cacheKey_ = 0;
+    int cacheLen_ = 0; //!< rows covered by the cache (static prefix)
+    std::vector<float> cacheH0_; //!< embedding+position rows
+    struct LayerCache
+    {
+        std::vector<float> k, v;  //!< projected keys/values [len, dim]
+        std::vector<float> hout;  //!< block outputs [len, dim]
+    };
+    std::vector<LayerCache> cacheLayers_;
+    std::vector<uint8_t> cacheReusable_; //!< per-row reuse eligibility
+
+    /** Rows + reusability + static length + key for a program. */
+    struct Layout
+    {
+        int n = 0;
+        int staticLen = 0;
+        uint64_t staticKey = 0;
+        std::vector<uint8_t> reusable; //!< ClassI-op / Params rows
+        std::vector<uint8_t> dataRow;  //!< rows inside the data segment
+        std::vector<uint8_t> classIRow;//!< rows inside Class I operators
+    };
+    Layout computeLayout(const EncodedProgram& ep) const;
+
+    /** Separation-mask predicate (mirrors buildSeparationMask). */
+    static bool blocked(const Layout& lay, int i, int j);
+
+    /**
+     * Forward pass. When 'partial' is true, rows flagged reusable are
+     * served from the cache; otherwise everything is computed and the
+     * cache re-primed.
+     */
+    std::vector<float> forwardPooled(const EncodedProgram& ep,
+                                     const Layout& lay, bool partial);
+};
+
+} // namespace model
+} // namespace llmulator
+
+#endif // LLMULATOR_MODEL_FAST_ENCODER_H

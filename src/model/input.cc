@@ -1,0 +1,136 @@
+#include "model/input.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "dfir/printer.h"
+
+namespace llmulator {
+namespace model {
+
+std::vector<Segment>
+renderSegments(const dfir::DataflowGraph& g, const dfir::RuntimeData* data,
+               const std::string& reasoning)
+{
+    std::vector<Segment> segs;
+
+    // Graph function segment.
+    {
+        std::ostringstream out;
+        out << "void dataflow() {\n";
+        for (const auto& call : g.calls)
+            out << "  " << call.opName << "();\n";
+        out << "}\n";
+        segs.push_back({SegmentKind::Graph, "dataflow", out.str(), false});
+    }
+
+    // One segment per distinct operator, labelled Class I/II.
+    for (const auto& op : g.ops) {
+        bool class_i =
+            dfir::classifyOperator(op) == dfir::ControlFlowClass::ClassI;
+        segs.push_back(
+            {SegmentKind::Op, op.name, dfir::printOperator(op), class_i});
+    }
+
+    // Hardware parameter segment.
+    {
+        std::ostringstream out;
+        out << "-mem-read-delay=" << g.params.memReadDelay << "\n"
+            << "-mem-write-delay=" << g.params.memWriteDelay << "\n"
+            << "-read-ports=" << g.params.readPorts << "\n"
+            << "-write-ports=" << g.params.writePorts << "\n";
+        segs.push_back({SegmentKind::Params, "params", out.str(), false});
+    }
+
+    if (!reasoning.empty())
+        segs.push_back({SegmentKind::Reasoning, "think",
+                        "<think>\n" + reasoning + "\n</think>\n", false});
+
+    if (data)
+        segs.push_back(
+            {SegmentKind::Data, "data", dfir::printData(*data), false});
+    return segs;
+}
+
+EncodedProgram
+encodeSegments(const tokenizer::Tokenizer& tok,
+               const std::vector<Segment>& segments, int max_len)
+{
+    // Tokenize every segment first so the budget split is known.
+    std::vector<std::vector<int>> ids(segments.size());
+    int total = 0, op_total = 0, other_total = 0, op_count = 0;
+    for (size_t i = 0; i < segments.size(); ++i) {
+        ids[i] = tok.encode(segments[i].text);
+        total += static_cast<int>(ids[i].size());
+        if (segments[i].kind == SegmentKind::Op) {
+            op_total += static_cast<int>(ids[i].size());
+            ++op_count;
+        } else {
+            other_total += static_cast<int>(ids[i].size());
+        }
+    }
+
+    // When the program overflows the context window, truncate *operator*
+    // bodies proportionally rather than dropping trailing segments: the
+    // graph function, hardware parameters and runtime data must always
+    // survive (losing the data segment would silently disable
+    // input-adaptive prediction for long programs).
+    int op_cap = -1; // unlimited
+    if (total > max_len && op_count > 0) {
+        int op_budget = std::max(op_count, max_len - other_total);
+        op_cap = op_budget / op_count;
+    }
+
+    EncodedProgram ep;
+    for (size_t i = 0; i < segments.size(); ++i) {
+        const Segment& seg = segments[i];
+        int limit = static_cast<int>(ids[i].size());
+        if (op_cap >= 0 && seg.kind == SegmentKind::Op)
+            limit = std::min(limit, op_cap);
+        TokenRange range;
+        range.begin = ep.length();
+        range.kind = seg.kind;
+        range.name = seg.name;
+        range.classI = seg.classI;
+        for (int j = 0; j < limit && ep.length() < max_len; ++j)
+            ep.tokens.push_back(ids[i][j]);
+        range.end = ep.length();
+        if (range.end > range.begin)
+            ep.ranges.push_back(range);
+        if (seg.kind == SegmentKind::Data && range.end > range.begin)
+            ep.hasData = true;
+    }
+    return ep;
+}
+
+nn::TensorPtr
+buildSeparationMask(const EncodedProgram& ep)
+{
+    if (!ep.hasData)
+        return nullptr;
+    bool any_class_i = false;
+    for (const auto& r : ep.ranges)
+        any_class_i |= (r.kind == SegmentKind::Op && r.classI);
+    if (!any_class_i)
+        return nullptr;
+
+    int n = ep.length();
+    auto mask = nn::Tensor::zeros(n, n);
+    for (const auto& ri : ep.ranges) {
+        if (!(ri.kind == SegmentKind::Op && ri.classI))
+            continue;
+        for (const auto& rj : ep.ranges) {
+            if (rj.kind != SegmentKind::Data)
+                continue;
+            for (int i = ri.begin; i < ri.end; ++i)
+                for (int j = rj.begin; j < rj.end; ++j) {
+                    mask->at(i, j) = -1e9f;
+                    mask->at(j, i) = -1e9f;
+                }
+        }
+    }
+    return mask;
+}
+
+} // namespace model
+} // namespace llmulator

@@ -1,0 +1,86 @@
+#ifndef LLMULATOR_MODEL_INPUT_H
+#define LLMULATOR_MODEL_INPUT_H
+
+/**
+ * @file
+ * Model-input construction: the program text is rendered as *segments*
+ * (graph function / each operator / hardware params / runtime data /
+ * optional reasoning fragment), tokenized per segment, and concatenated
+ * with recorded token ranges.
+ *
+ * Ranges are what make the paper's Section 5.2/5.3 mechanisms implementable:
+ *  - the control-flow separation mask zeroes attention between Class I
+ *    operator ranges and the data range;
+ *  - dynamic prediction acceleration caches the per-layer activations of
+ *    ranges that are unaffected by a data-only change.
+ */
+
+#include <string>
+#include <vector>
+
+#include "dfir/analysis.h"
+#include "dfir/ir.h"
+#include "nn/tensor.h"
+#include "tokenizer/tokenizer.h"
+
+namespace llmulator {
+namespace model {
+
+/** Kinds of input segments. */
+enum class SegmentKind { Graph, Op, Params, Data, Reasoning };
+
+/** One rendered input segment. */
+struct Segment
+{
+    SegmentKind kind;
+    std::string name;   //!< operator name for Op segments
+    std::string text;
+    bool classI = false;//!< Op segments: input-independent control flow
+};
+
+/** Token range of a segment inside the concatenated sequence. */
+struct TokenRange
+{
+    int begin = 0; //!< inclusive
+    int end = 0;   //!< exclusive
+    SegmentKind kind = SegmentKind::Graph;
+    std::string name;
+    bool classI = false;
+};
+
+/** Tokenized program with segment ranges. */
+struct EncodedProgram
+{
+    std::vector<int> tokens;
+    std::vector<TokenRange> ranges;
+    bool hasData = false;
+
+    int length() const { return static_cast<int>(tokens.size()); }
+};
+
+/**
+ * Render {G, Op, Params} (+ optional data, + optional reasoning fragment)
+ * into segments. Operator segments carry their Class I/II label from
+ * dfir::classifyOperator.
+ */
+std::vector<Segment> renderSegments(const dfir::DataflowGraph& g,
+                                    const dfir::RuntimeData* data,
+                                    const std::string& reasoning = "");
+
+/** Tokenize segments and record ranges (sequence truncated to max_len). */
+EncodedProgram encodeSegments(const tokenizer::Tokenizer& tok,
+                              const std::vector<Segment>& segments,
+                              int max_len);
+
+/**
+ * Build the additive control-flow separation mask (paper Figure 5): a
+ * [len, len] tensor that is 0 everywhere except Class-I-operator x Data
+ * interactions, which get -1e9 (zero attention after softmax). Returns
+ * nullptr when no masking applies (no data segment or no Class I ops).
+ */
+nn::TensorPtr buildSeparationMask(const EncodedProgram& ep);
+
+} // namespace model
+} // namespace llmulator
+
+#endif // LLMULATOR_MODEL_INPUT_H

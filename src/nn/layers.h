@@ -1,0 +1,173 @@
+#ifndef LLMULATOR_NN_LAYERS_H
+#define LLMULATOR_NN_LAYERS_H
+
+/**
+ * @file
+ * Neural network layers: Linear, Embedding, LayerNorm, multi-head
+ * self-attention and a Transformer encoder.
+ *
+ * The encoder supports an optional additive attention mask, which is how the
+ * dynamic control-flow separation of LLMulator (paper Section 5.2) is
+ * injected: masked (Class-I-operator x data) interactions receive -inf
+ * before the softmax so the attention weight is exactly zero.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/ops.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace llmulator {
+namespace nn {
+
+/** Base class exposing trainable parameters for optimizers/serialization. */
+class Module
+{
+  public:
+    virtual ~Module() = default;
+
+    /** All trainable parameters, in a stable order. */
+    virtual std::vector<TensorPtr> parameters() const = 0;
+
+    /** Total scalar parameter count. */
+    int64_t parameterCount() const;
+};
+
+/** Affine map y = x W + b. */
+class Linear : public Module
+{
+  public:
+    /**
+     * @param in  input feature width
+     * @param out output feature width
+     * @param rng initializer stream (Xavier-uniform)
+     */
+    Linear(int in, int out, util::Rng& rng);
+
+    TensorPtr forward(const TensorPtr& x) const;
+    std::vector<TensorPtr> parameters() const override;
+
+    TensorPtr weight; //!< [in, out]
+    TensorPtr bias;   //!< [1, out]
+};
+
+/** Token embedding table. */
+class Embedding : public Module
+{
+  public:
+    Embedding(int vocab, int dim, util::Rng& rng);
+
+    TensorPtr forward(const std::vector<int>& ids) const;
+    std::vector<TensorPtr> parameters() const override;
+
+    TensorPtr table; //!< [vocab, dim]
+};
+
+/** Learnable per-feature layer normalization. */
+class LayerNorm : public Module
+{
+  public:
+    explicit LayerNorm(int dim);
+
+    TensorPtr forward(const TensorPtr& x) const;
+    std::vector<TensorPtr> parameters() const override;
+
+    TensorPtr gamma; //!< [1, dim]
+    TensorPtr beta;  //!< [1, dim]
+};
+
+/**
+ * Multi-head scaled-dot-product self-attention.
+ *
+ * forward() accepts an optional additive mask [seq, seq] (0 = attend,
+ * large-negative = blocked) owned by the caller; the mask carries no
+ * gradient.
+ */
+class MultiHeadSelfAttention : public Module
+{
+  public:
+    MultiHeadSelfAttention(int dim, int heads, util::Rng& rng);
+
+    TensorPtr forward(const TensorPtr& x,
+                      const TensorPtr& add_mask = nullptr) const;
+    std::vector<TensorPtr> parameters() const override;
+
+    int dim;
+    int heads;
+    int headDim;
+    std::unique_ptr<Linear> wq, wk, wv, wo;
+};
+
+/** Pre-LN transformer block: x + MHA(LN(x)), then x + FFN(LN(x)). */
+class TransformerBlock : public Module
+{
+  public:
+    TransformerBlock(int dim, int heads, int ffn, util::Rng& rng);
+
+    TensorPtr forward(const TensorPtr& x,
+                      const TensorPtr& add_mask = nullptr) const;
+    std::vector<TensorPtr> parameters() const override;
+
+    std::unique_ptr<LayerNorm> ln1, ln2;
+    std::unique_ptr<MultiHeadSelfAttention> attn;
+    std::unique_ptr<Linear> ff1, ff2;
+};
+
+/** Hyper-parameters of a TransformerEncoder. */
+struct EncoderConfig
+{
+    int vocab = 0;      //!< token vocabulary size
+    int dim = 48;       //!< model width
+    int heads = 4;      //!< attention heads
+    int layers = 2;     //!< transformer blocks
+    int ffn = 128;      //!< feed-forward hidden width
+    int maxSeq = 192;   //!< maximum sequence length (position table size)
+};
+
+/**
+ * Transformer encoder over token id sequences.
+ *
+ * Returns the full hidden-state matrix [seq, dim]; pooled() provides the
+ * mean-pooled summary used by regression / digit heads.
+ */
+class TransformerEncoder : public Module
+{
+  public:
+    TransformerEncoder(const EncoderConfig& cfg, util::Rng& rng);
+
+    /** Full hidden states for a token sequence (truncated to maxSeq). */
+    TensorPtr forward(const std::vector<int>& ids,
+                      const TensorPtr& add_mask = nullptr) const;
+
+    /** Mean-pool hidden states into a [1, dim] summary vector. */
+    static TensorPtr pooled(const TensorPtr& hidden);
+
+    std::vector<TensorPtr> parameters() const override;
+
+    EncoderConfig cfg;
+    std::unique_ptr<Embedding> tok;
+    TensorPtr pos; //!< [maxSeq, dim] learned positions
+    std::vector<std::unique_ptr<TransformerBlock>> blocks;
+    std::unique_ptr<LayerNorm> lnFinal;
+};
+
+/** Multi-layer perceptron with ReLU activations (for baselines/heads). */
+class Mlp : public Module
+{
+  public:
+    /** widths = {in, h1, ..., out}. */
+    Mlp(const std::vector<int>& widths, util::Rng& rng);
+
+    TensorPtr forward(const TensorPtr& x) const;
+    std::vector<TensorPtr> parameters() const override;
+
+    std::vector<std::unique_ptr<Linear>> layers;
+};
+
+} // namespace nn
+} // namespace llmulator
+
+#endif // LLMULATOR_NN_LAYERS_H

@@ -1,0 +1,66 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+#include "util/common.h"
+
+namespace llmulator {
+namespace nn {
+
+AdamW::AdamW(std::vector<TensorPtr> params, const AdamWConfig& cfg_)
+    : cfg(cfg_), params_(std::move(params))
+{
+    m_.resize(params_.size());
+    v_.resize(params_.size());
+    for (size_t i = 0; i < params_.size(); ++i) {
+        m_[i].assign(params_[i]->value.size(), 0.f);
+        v_[i].assign(params_[i]->value.size(), 0.f);
+    }
+}
+
+void
+AdamW::step()
+{
+    ++t_;
+    // Global norm for clipping.
+    double sq = 0.0;
+    for (const auto& p : params_) {
+        if (p->grad.empty())
+            continue;
+        for (float g : p->grad)
+            sq += double(g) * g;
+    }
+    lastGradNorm_ = static_cast<float>(std::sqrt(sq));
+    float clip_scale = 1.f;
+    if (cfg.clipNorm > 0.f && lastGradNorm_ > cfg.clipNorm)
+        clip_scale = cfg.clipNorm / (lastGradNorm_ + 1e-12f);
+
+    float bc1 = 1.f - std::pow(cfg.beta1, static_cast<float>(t_));
+    float bc2 = 1.f - std::pow(cfg.beta2, static_cast<float>(t_));
+
+    for (size_t i = 0; i < params_.size(); ++i) {
+        Tensor& p = *params_[i];
+        if (p.grad.empty())
+            continue;
+        for (size_t j = 0; j < p.value.size(); ++j) {
+            float g = p.grad[j] * clip_scale;
+            m_[i][j] = cfg.beta1 * m_[i][j] + (1.f - cfg.beta1) * g;
+            v_[i][j] = cfg.beta2 * v_[i][j] + (1.f - cfg.beta2) * g * g;
+            float mhat = m_[i][j] / bc1;
+            float vhat = v_[i][j] / bc2;
+            p.value[j] -= cfg.lr *
+                (mhat / (std::sqrt(vhat) + cfg.eps) +
+                 cfg.weightDecay * p.value[j]);
+        }
+    }
+}
+
+void
+AdamW::zeroGrad()
+{
+    for (auto& p : params_)
+        p->zeroGrad();
+}
+
+} // namespace nn
+} // namespace llmulator

@@ -1,0 +1,55 @@
+#ifndef LLMULATOR_NN_OPTIM_H
+#define LLMULATOR_NN_OPTIM_H
+
+/**
+ * @file
+ * AdamW optimizer with global-norm gradient clipping — the paper trains all
+ * models (SFT and DPO stages) with AdamW (Section 7.1).
+ */
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace llmulator {
+namespace nn {
+
+/** AdamW configuration. */
+struct AdamWConfig
+{
+    float lr = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weightDecay = 0.01f;
+    float clipNorm = 1.0f; //!< <=0 disables clipping
+};
+
+/** Decoupled-weight-decay Adam over an explicit parameter list. */
+class AdamW
+{
+  public:
+    AdamW(std::vector<TensorPtr> params, const AdamWConfig& cfg = {});
+
+    /** Apply one update from the accumulated gradients. */
+    void step();
+
+    /** Zero all parameter gradients. */
+    void zeroGrad();
+
+    /** Current global gradient norm (diagnostics; computed in step()). */
+    float lastGradNorm() const { return lastGradNorm_; }
+
+    AdamWConfig cfg;
+
+  private:
+    std::vector<TensorPtr> params_;
+    std::vector<std::vector<float>> m_, v_;
+    int64_t t_ = 0;
+    float lastGradNorm_ = 0.f;
+};
+
+} // namespace nn
+} // namespace llmulator
+
+#endif // LLMULATOR_NN_OPTIM_H

@@ -1,0 +1,58 @@
+#include "nn/serialize.h"
+
+#include <cstdio>
+
+namespace llmulator {
+namespace nn {
+
+namespace {
+constexpr uint32_t kMagic = 0x4c4c4d31; // "LLM1"
+} // namespace
+
+bool
+saveParameters(const std::string& path, const std::vector<TensorPtr>& params)
+{
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    uint32_t magic = kMagic;
+    uint32_t count = static_cast<uint32_t>(params.size());
+    bool ok = std::fwrite(&magic, 4, 1, f) == 1 &&
+              std::fwrite(&count, 4, 1, f) == 1;
+    for (const auto& p : params) {
+        if (!ok)
+            break;
+        int32_t r = p->rows, c = p->cols;
+        ok = std::fwrite(&r, 4, 1, f) == 1 && std::fwrite(&c, 4, 1, f) == 1 &&
+             std::fwrite(p->value.data(), sizeof(float), p->value.size(), f) ==
+                 p->value.size();
+    }
+    std::fclose(f);
+    return ok;
+}
+
+bool
+loadParameters(const std::string& path, const std::vector<TensorPtr>& params)
+{
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    uint32_t magic = 0, count = 0;
+    bool ok = std::fread(&magic, 4, 1, f) == 1 && magic == kMagic &&
+              std::fread(&count, 4, 1, f) == 1 &&
+              count == params.size();
+    for (const auto& p : params) {
+        if (!ok)
+            break;
+        int32_t r = 0, c = 0;
+        ok = std::fread(&r, 4, 1, f) == 1 && std::fread(&c, 4, 1, f) == 1 &&
+             r == p->rows && c == p->cols &&
+             std::fread(p->value.data(), sizeof(float), p->value.size(), f) ==
+                 p->value.size();
+    }
+    std::fclose(f);
+    return ok;
+}
+
+} // namespace nn
+} // namespace llmulator

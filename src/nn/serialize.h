@@ -1,0 +1,36 @@
+#ifndef LLMULATOR_NN_SERIALIZE_H
+#define LLMULATOR_NN_SERIALIZE_H
+
+/**
+ * @file
+ * Binary (de)serialization of parameter lists.
+ *
+ * Trained models are cached on disk keyed by a config/dataset hash so the
+ * eleven benchmark binaries can share training artifacts (see
+ * eval/model_cache.h). The format is a magic header, a tensor count, then
+ * per-tensor (rows, cols, float payload).
+ */
+
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace llmulator {
+namespace nn {
+
+/** Write parameters to path. Returns false on I/O failure. */
+bool saveParameters(const std::string& path,
+                    const std::vector<TensorPtr>& params);
+
+/**
+ * Load parameters from path into an existing parameter list (shapes must
+ * match exactly). Returns false if the file is missing or incompatible.
+ */
+bool loadParameters(const std::string& path,
+                    const std::vector<TensorPtr>& params);
+
+} // namespace nn
+} // namespace llmulator
+
+#endif // LLMULATOR_NN_SERIALIZE_H

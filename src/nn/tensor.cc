@@ -1,0 +1,107 @@
+#include "nn/tensor.h"
+
+#include <unordered_set>
+
+#include "util/common.h"
+
+namespace llmulator {
+namespace nn {
+
+TensorPtr
+Tensor::zeros(int rows, int cols, bool requires_grad)
+{
+    LLM_CHECK(rows > 0 && cols > 0, "bad tensor shape " << rows << "x" << cols);
+    auto t = std::make_shared<Tensor>();
+    t->rows = rows;
+    t->cols = cols;
+    t->value.assign(size_t(rows) * cols, 0.f);
+    t->requiresGrad = requires_grad;
+    return t;
+}
+
+TensorPtr
+Tensor::fromData(int rows, int cols, std::vector<float> data,
+                 bool requires_grad)
+{
+    LLM_CHECK(data.size() == size_t(rows) * cols,
+              "data size " << data.size() << " != " << rows << "x" << cols);
+    auto t = std::make_shared<Tensor>();
+    t->rows = rows;
+    t->cols = cols;
+    t->value = std::move(data);
+    t->requiresGrad = requires_grad;
+    return t;
+}
+
+TensorPtr
+Tensor::scalar(float v, bool requires_grad)
+{
+    return fromData(1, 1, {v}, requires_grad);
+}
+
+void
+Tensor::ensureGrad()
+{
+    if (grad.size() != value.size())
+        grad.assign(value.size(), 0.f);
+}
+
+void
+Tensor::zeroGrad()
+{
+    if (!grad.empty())
+        grad.assign(grad.size(), 0.f);
+}
+
+namespace {
+
+void
+topoVisit(Tensor* node, std::unordered_set<Tensor*>& seen,
+          std::vector<Tensor*>& order)
+{
+    // Iterative DFS: graphs from long training sequences can be deep enough
+    // to overflow the stack with naive recursion.
+    struct Frame { Tensor* t; size_t next; };
+    std::vector<Frame> stack;
+    if (seen.count(node))
+        return;
+    seen.insert(node);
+    stack.push_back({node, 0});
+    while (!stack.empty()) {
+        Frame& f = stack.back();
+        if (f.next < f.t->parents.size()) {
+            Tensor* p = f.t->parents[f.next++].get();
+            if (!seen.count(p)) {
+                seen.insert(p);
+                stack.push_back({p, 0});
+            }
+        } else {
+            order.push_back(f.t);
+            stack.pop_back();
+        }
+    }
+}
+
+} // namespace
+
+void
+Tensor::backward()
+{
+    ensureGrad();
+    for (auto& g : grad)
+        g = 1.f;
+
+    std::unordered_set<Tensor*> seen;
+    std::vector<Tensor*> order;
+    topoVisit(this, seen, order);
+
+    // 'order' is post-order (parents before children), so walk it backwards.
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        Tensor* t = *it;
+        if (t->backwardFn && !t->grad.empty())
+            t->backwardFn();
+    }
+}
+
+} // namespace nn
+} // namespace llmulator

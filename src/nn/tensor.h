@@ -1,0 +1,94 @@
+#ifndef LLMULATOR_NN_TENSOR_H
+#define LLMULATOR_NN_TENSOR_H
+
+/**
+ * @file
+ * Dense float32 tensor with reverse-mode automatic differentiation.
+ *
+ * This is the training substrate for every learned model in the repository
+ * (the LLMulator numeric-prediction transformer and the TLP / GNNHLS /
+ * Tenset-MLP baselines). It is deliberately small: 2-D row-major tensors,
+ * a dynamic tape built by the op constructors in ops.h, and a topological
+ * backward pass. There is no broadcasting beyond the explicit ops, no views,
+ * and no device abstraction — everything runs on one CPU core.
+ *
+ * Ownership: tensors are reference-counted graph nodes (TensorPtr). A node
+ * keeps its parents alive; the graph is a DAG (no cycles by construction),
+ * so plain shared_ptr is sufficient and the whole graph of a training step
+ * is reclaimed when the last external reference drops.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace llmulator {
+namespace nn {
+
+class Tensor;
+using TensorPtr = std::shared_ptr<Tensor>;
+
+/** A node in the autograd graph: value, gradient, and backward closure. */
+class Tensor : public std::enable_shared_from_this<Tensor>
+{
+  public:
+    /** Rows (first dimension). Scalars are [1,1]. */
+    int rows = 0;
+    /** Columns (second dimension). */
+    int cols = 0;
+    /** Row-major payload, size rows*cols. */
+    std::vector<float> value;
+    /** Gradient accumulator; allocated lazily on first backward reach. */
+    std::vector<float> grad;
+    /** Whether gradients should flow to (and be kept on) this node. */
+    bool requiresGrad = false;
+
+    /** Parents in the dataflow (tape) graph. */
+    std::vector<TensorPtr> parents;
+    /**
+     * Backward closure: reads this->grad, accumulates into parents' grad.
+     * Null for leaves.
+     */
+    std::function<void()> backwardFn;
+
+    /** Allocate a zero-filled tensor. */
+    static TensorPtr zeros(int rows, int cols, bool requires_grad = false);
+
+    /** Allocate from explicit data (size must equal rows*cols). */
+    static TensorPtr fromData(int rows, int cols, std::vector<float> data,
+                              bool requires_grad = false);
+
+    /** Wrap a scalar. */
+    static TensorPtr scalar(float v, bool requires_grad = false);
+
+    /** Number of elements. */
+    int64_t numel() const { return int64_t(rows) * cols; }
+
+    /** Element access (row-major). */
+    float at(int r, int c) const { return value[size_t(r) * cols + c]; }
+
+    /** Mutable element access. */
+    float& at(int r, int c) { return value[size_t(r) * cols + c]; }
+
+    /** Ensure grad buffer exists (zero-filled). */
+    void ensureGrad();
+
+    /** Zero the gradient buffer if allocated. */
+    void zeroGrad();
+
+    /**
+     * Run reverse-mode autodiff from this node.
+     *
+     * Seeds this->grad with 1 everywhere (the common case is a [1,1] loss),
+     * topologically sorts the reachable subgraph and invokes backwardFn in
+     * reverse order. Gradients accumulate, so call zeroGrad() on parameters
+     * between steps (Optimizer does this).
+     */
+    void backward();
+};
+
+} // namespace nn
+} // namespace llmulator
+
+#endif // LLMULATOR_NN_TENSOR_H

@@ -1,0 +1,186 @@
+#include "tokenizer/tokenizer.h"
+
+#include <cctype>
+#include <map>
+
+#include "util/common.h"
+#include "util/string_util.h"
+
+namespace llmulator {
+namespace tokenizer {
+
+namespace {
+
+/** Fixed keyword / punctuation vocabulary shared by both regimes. */
+const char* kWords[] = {
+    // C-like keywords and structure
+    "void", "int", "float", "for", "if", "else", "return", "dataflow",
+    "#pragma", "clang", "loop", "unroll_count", "omp", "parallel",
+    // punctuation & operators (longest-match order handled in scanner)
+    "(", ")", "{", "}", "[", "]", ";", ",", "=", "+", "-", "*", "/", "%",
+    "<", ">", "<=", ">=", "==", "!=", "&&", "||", "+=", ".",
+    // hardware parameter atoms
+    "-mem-read-delay", "-mem-write-delay", "-read-ports", "-write-ports",
+    // frequent program words
+    "min", "max", "len", "mean",
+    // reasoning-format atoms (paper Figure 8)
+    "<think>", "</think>", "modules", "conflicts", "area", "MUX21",
+    "multiplexers", ":",
+};
+constexpr int kNumWords = sizeof(kWords) / sizeof(kWords[0]);
+
+bool
+isIdentChar(char ch)
+{
+    return std::isalnum(static_cast<unsigned char>(ch)) || ch == '_';
+}
+
+} // namespace
+
+Tokenizer::Tokenizer(const TokenizerConfig& cfg) : cfg_(cfg)
+{
+    // Layout: [pad, unk, words..., digits 0-9, ID buckets, NUM buckets].
+    int next = 2;
+    next += kNumWords;
+    digitBase_ = next;
+    next += 10;
+    idBase_ = next;
+    next += cfg_.idBuckets;
+    numBase_ = next;
+    next += cfg_.numBuckets;
+    vocabSize_ = next;
+}
+
+int
+Tokenizer::digitToken(int digit) const
+{
+    LLM_CHECK(digit >= 0 && digit < 10, "digit " << digit);
+    return digitBase_ + digit;
+}
+
+int
+Tokenizer::lookupWord(const std::string& word) const
+{
+    for (int i = 0; i < kNumWords; ++i)
+        if (word == kWords[i])
+            return 2 + i;
+    return -1;
+}
+
+std::string
+Tokenizer::isolateNumbers(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size() * 2);
+    for (size_t i = 0; i < text.size(); ++i) {
+        char ch = text[i];
+        if (std::isdigit(static_cast<unsigned char>(ch))) {
+            bool prev_alpha =
+                i > 0 && (std::isalpha(static_cast<unsigned char>(text[i - 1]))
+                          || text[i - 1] == '_');
+            // Digits inside identifiers (w1, h2) stay attached; free-standing
+            // numeric literals get per-digit isolation.
+            if (!prev_alpha) {
+                if (!out.empty() && out.back() != ' ')
+                    out.push_back(' ');
+                out.push_back(ch);
+                continue;
+            }
+        }
+        out.push_back(ch);
+    }
+    return out;
+}
+
+std::vector<int>
+Tokenizer::encode(const std::string& text) const
+{
+    std::vector<int> out;
+    const std::string src =
+        cfg_.progressiveNumbers ? isolateNumbers(text) : text;
+
+    size_t i = 0;
+    const size_t n = src.size();
+    while (i < n) {
+        char ch = src[i];
+        if (std::isspace(static_cast<unsigned char>(ch))) {
+            ++i;
+            continue;
+        }
+
+        // Hardware-parameter atoms like "-mem-read-delay" (longest match).
+        if (ch == '-' || ch == '#' || ch == '<') {
+            static const char* kLong[] = {
+                "-mem-read-delay", "-mem-write-delay", "-read-ports",
+                "-write-ports", "#pragma", "<think>", "</think>",
+                "<=", "==", "!=", "&&", "||", ">=", "+=",
+            };
+            bool matched = false;
+            for (const char* cand : kLong) {
+                size_t len = std::string(cand).size();
+                if (src.compare(i, len, cand) == 0) {
+                    out.push_back(lookupWord(cand));
+                    i += len;
+                    matched = true;
+                    break;
+                }
+            }
+            if (matched)
+                continue;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(ch))) {
+            // Scan the maximal digit run at this position.
+            size_t j = i;
+            while (j < n && std::isdigit(static_cast<unsigned char>(src[j])))
+                ++j;
+            std::string run = src.substr(i, j - i);
+            if (cfg_.progressiveNumbers) {
+                // After isolation each run is a single digit, but accept
+                // longer runs defensively and split them.
+                for (char d : run)
+                    out.push_back(digitToken(d - '0'));
+            } else {
+                // NoEnc: whole literal hashed into a NUM bucket.
+                out.push_back(numBase_ + static_cast<int>(
+                    util::fnv1a(run) % cfg_.numBuckets));
+            }
+            i = j;
+            continue;
+        }
+
+        if (std::isalpha(static_cast<unsigned char>(ch)) || ch == '_') {
+            size_t j = i;
+            while (j < n && isIdentChar(src[j]))
+                ++j;
+            std::string word = src.substr(i, j - i);
+            int id = lookupWord(word);
+            if (id >= 0)
+                out.push_back(id);
+            else
+                out.push_back(idBase_ + static_cast<int>(
+                    util::fnv1a(word) % cfg_.idBuckets));
+            i = j;
+            continue;
+        }
+
+        // Two-char operators first, then single char.
+        if (i + 1 < n) {
+            std::string two = src.substr(i, 2);
+            int id = lookupWord(two);
+            if (id >= 0) {
+                out.push_back(id);
+                i += 2;
+                continue;
+            }
+        }
+        std::string one(1, ch);
+        int id = lookupWord(one);
+        out.push_back(id >= 0 ? id : unkToken());
+        ++i;
+    }
+    return out;
+}
+
+} // namespace tokenizer
+} // namespace llmulator

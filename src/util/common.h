@@ -1,0 +1,48 @@
+#ifndef LLMULATOR_UTIL_COMMON_H
+#define LLMULATOR_UTIL_COMMON_H
+
+/**
+ * @file
+ * Fatal-error helpers and small shared utilities.
+ *
+ * Following the gem5 convention, panic() is for "this should never happen
+ * regardless of what the user does" (library bugs), while fatal() is for
+ * unrecoverable user errors (bad configuration, malformed workloads).
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace llmulator {
+namespace util {
+
+/** Print a formatted message to stderr and abort. Library-bug class errors. */
+[[noreturn]] void panic(const std::string& msg);
+
+/** Print a formatted message to stderr and exit(1). User-error class errors. */
+[[noreturn]] void fatal(const std::string& msg);
+
+/** Non-fatal warning to stderr. */
+void warn(const std::string& msg);
+
+/** Informational message to stderr (kept off stdout so tables stay clean). */
+void inform(const std::string& msg);
+
+} // namespace util
+} // namespace llmulator
+
+/** Assert-like check that stays on in release builds. */
+#define LLM_CHECK(cond, msg)                                                  \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            std::ostringstream oss_;                                          \
+            oss_ << "CHECK failed: " #cond " @ " << __FILE__ << ":"           \
+                 << __LINE__ << " : " << msg;                                 \
+            ::llmulator::util::panic(oss_.str());                             \
+        }                                                                     \
+    } while (0)
+
+#endif // LLMULATOR_UTIL_COMMON_H

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * The 14 "modern" workloads of paper Table 2: image-processing pipelines
+ * (rows 1-9) and NLP models (rows 10-14).
+ *
+ * Each workload is assembled from compact operator templates (convolution,
+ * depthwise/pointwise, normalization, attention-style GEMM, gating,
+ * pooling, residual) to match the paper's per-row structure: operator
+ * count and dynamic-parameter count. Counts are scaled by ~1/2 relative to
+ * Table 2 (and CBAM's 52 dynamic scalars capped) so a workload fits the
+ * reduced model context window; the *relative* ordering of size and
+ * dynamism across rows is preserved, which is what the evaluation shapes
+ * depend on. Image rows expose H/W size parameters, NLP rows expose
+ * sequence-length parameters, matching the paper's input-modification
+ * protocol (Section 7.1).
+ */
+
+#include "workloads/workloads.h"
+
+#include "dfir/builder.h"
+#include "synth/generators.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace llmulator {
+namespace workloads {
+
+namespace {
+
+using namespace dfir;
+
+/** Operator template kinds used to assemble apps. */
+enum class Tmpl
+{
+    Conv,      //!< dense 2-deep convolution-like nest
+    Depthwise, //!< single-loop channel-wise multiply
+    Pointwise, //!< 1x1 projection (gemm-like, 2-deep)
+    Norm,      //!< normalization pass
+    Relu,      //!< elementwise max(0, x)
+    AttnScore, //!< q.k score accumulation (2-deep, mul-add)
+    Gate,      //!< data-dependent branch (attention masks, GAN gates)
+    Pool,      //!< strided reduction
+    Residual   //!< elementwise add of two maps
+};
+
+/**
+ * Instantiate one template. 'dynamic' selects whether the spatial bound is
+ * a runtime parameter (dim_param) or a compile-time constant.
+ */
+Operator
+makeOp(Tmpl t, int idx, bool dynamic, const std::string& dim_param,
+       long fixed_n, util::Rng& rng)
+{
+    Operator op;
+    ExprPtr n = dynamic ? p(dim_param) : c(fixed_n);
+    if (dynamic)
+        op.scalarParams = {dim_param};
+    std::string x = util::format("t%d", idx);
+    std::string y = util::format("t%d", idx + 1);
+    std::string w = util::format("w%d", idx);
+
+    switch (t) {
+      case Tmpl::Conv: {
+        op.name = util::format("conv%d", idx);
+        long k = rng.uniformInt(3, 5);
+        op.tensors = {tensor(x, {n, n}), tensor(w, {c(k)}),
+                      tensor(y, {n, n})};
+        auto s = assign(
+            y, {v("i"), v("j")},
+            badd(a(y, {v("i"), v("j")}),
+                 bmul(a(x, {badd(v("i"), v("r")), v("j")}),
+                      a(w, {v("r")}))));
+        op.body = {forLoop("i", c(0), n,
+                           {forLoop("j", c(0), n,
+                                    {forLoop("r", c(0), c(k), {s})})})};
+        break;
+      }
+      case Tmpl::Depthwise: {
+        op.name = util::format("dwise%d", idx);
+        op.tensors = {tensor(x, {n}), tensor(w, {n}), tensor(y, {n})};
+        op.body = {forLoop("i", c(0), n,
+                           {assign(y, {v("i")},
+                                   bmul(a(x, {v("i")}), a(w, {v("i")})))})};
+        break;
+      }
+      case Tmpl::Pointwise: {
+        op.name = util::format("pwise%d", idx);
+        op.tensors = {tensor(x, {n, c(8)}), tensor(w, {c(8), c(8)}),
+                      tensor(y, {n, c(8)})};
+        auto s = assign(y, {v("i"), v("j")},
+                        badd(a(y, {v("i"), v("j")}),
+                             bmul(a(x, {v("i"), v("k")}),
+                                  a(w, {v("k"), v("j")}))));
+        op.body = {forLoop("i", c(0), n,
+                           {forLoop("j", c(0), c(8),
+                                    {forLoop("k", c(0), c(8), {s})})})};
+        break;
+      }
+      case Tmpl::Norm: {
+        op.name = util::format("norm%d", idx);
+        op.tensors = {tensor(x, {n}), tensor(y, {n})};
+        op.body = {forLoop(
+            "i", c(0), n,
+            {assign(y, {v("i")},
+                    bdiv(bsub(a(x, {v("i")}), c(4)), c(3)))})};
+        break;
+      }
+      case Tmpl::Relu: {
+        op.name = util::format("relu%d", idx);
+        op.tensors = {tensor(x, {n}), tensor(y, {n})};
+        op.body = {forLoop("i", c(0), n,
+                           {assign(y, {v("i")},
+                                   bmax(a(x, {v("i")}), c(0)))})};
+        break;
+      }
+      case Tmpl::AttnScore: {
+        op.name = util::format("attn%d", idx);
+        op.tensors = {tensor(x, {n, c(8)}), tensor(y, {n, n})};
+        auto s = assign(y, {v("i"), v("j")},
+                        badd(a(y, {v("i"), v("j")}),
+                             bmul(a(x, {v("i"), v("k")}),
+                                  a(x, {v("j"), v("k")}))));
+        op.body = {forLoop("i", c(0), n,
+                           {forLoop("j", c(0), n,
+                                    {forLoop("k", c(0), c(8), {s})})})};
+        break;
+      }
+      case Tmpl::Gate: {
+        op.name = util::format("gate%d", idx);
+        op.tensors = {tensor(x, {n}), tensor(y, {n})};
+        auto s = ifStmt(
+            bgt(a(x, {v("i")}), c(rng.uniformInt(0, 10))),
+            {assign(y, {v("i")},
+                    bmul(a(x, {v("i")}), a(x, {v("i")})))},
+            {assign(y, {v("i")}, c(0))});
+        op.body = {forLoop("i", c(0), n, {s})};
+        break;
+      }
+      case Tmpl::Pool: {
+        op.name = util::format("pool%d", idx);
+        op.tensors = {tensor(x, {n}), tensor(y, {n})};
+        auto s = assign(y, {v("i")},
+                        bmax(a(x, {bmul(v("i"), c(2))}),
+                             a(x, {badd(bmul(v("i"), c(2)), c(1))})));
+        op.body = {forLoop("i", c(0), bdiv(n, c(2)), {s})};
+        break;
+      }
+      case Tmpl::Residual: {
+        op.name = util::format("resid%d", idx);
+        std::string z = util::format("t%d", idx > 0 ? idx - 1 : 0);
+        op.tensors = {tensor(x, {n}), tensor(z, {n}), tensor(y, {n})};
+        op.body = {forLoop("i", c(0), n,
+                           {assign(y, {v("i")},
+                                   badd(a(x, {v("i")}), a(z, {v("i")})))})};
+        break;
+      }
+    }
+    return op;
+}
+
+/** Row spec distilled from paper Table 2 (scaled; see file header). */
+struct AppSpec
+{
+    const char* name;
+    int ops;       //!< operator count (paper count / ~2, min 3, max 10)
+    int dynOps;    //!< operators with runtime-parameter bounds
+    bool nlp;      //!< NLP row (sequence-length parameter "L")
+    long baseSize; //!< canonical spatial size
+};
+
+const AppSpec kApps[14] = {
+    {"ImageNorm+CNN", 4, 1, false, 16},      // Tab. 2-1 (8 ops, 2 dyn)
+    {"RB+DSC", 3, 2, false, 16},             // Tab. 2-2 (6, 3)
+    {"SPP+Fusion", 4, 1, false, 16},         // Tab. 2-3 (8, 2)
+    {"CBAMAttention", 6, 4, false, 12},      // Tab. 2-4 (12, 52 capped)
+    {"Anchor+RoIAlign", 3, 2, false, 16},    // Tab. 2-5 (5, 4)
+    {"GAN+SuperRes", 7, 1, false, 14},       // Tab. 2-6 (13, 2)
+    {"Dense+SkipConn", 4, 2, false, 18},     // Tab. 2-7 (8, 3)
+    {"DilatedConv+Aggre", 3, 1, false, 18},  // Tab. 2-8 (6, 2)
+    {"BEVFormer", 3, 1, false, 16},          // Tab. 2-9 (5, 2)
+    {"Bert-base", 6, 1, true, 14},           // Tab. 2-10 (12, 2)
+    {"Albert", 6, 2, true, 14},              // Tab. 2-11 (13, 4)
+    {"T5-base", 10, 1, true, 12},            // Tab. 2-12 (21, 1)
+    {"Roberta", 5, 1, true, 14},             // Tab. 2-13 (10, 2)
+    {"LLaMA", 4, 1, true, 16},               // Tab. 2-14 (8, 1)
+};
+
+Workload
+makeApp(int row)
+{
+    const AppSpec& spec = kApps[row];
+    util::Rng rng(0x700 + row);
+
+    DataflowGraph g;
+    g.name = spec.name;
+
+    // Template pools differ by domain: image rows lean on conv/pool,
+    // NLP rows on attention/pointwise.
+    std::vector<Tmpl> pool =
+        spec.nlp ? std::vector<Tmpl>{Tmpl::AttnScore, Tmpl::Pointwise,
+                                     Tmpl::Norm, Tmpl::Relu, Tmpl::Gate,
+                                     Tmpl::Residual}
+                 : std::vector<Tmpl>{Tmpl::Conv, Tmpl::Depthwise,
+                                     Tmpl::Pointwise, Tmpl::Norm,
+                                     Tmpl::Relu, Tmpl::Gate, Tmpl::Pool,
+                                     Tmpl::Residual};
+    const std::string dim = spec.nlp ? "L" : "H";
+
+    for (int i = 0; i < spec.ops; ++i) {
+        bool dynamic = i < spec.dynOps;
+        Tmpl t = dynamic && i == 0 ? Tmpl::Gate : pool[rng.index(pool.size())];
+        // Each dynamic operator gets its own size parameter (H, H1, H2, ...)
+        // so the per-row dynamic-parameter count tracks Table 2.
+        std::string dim_i =
+            i == 0 ? dim : dim + std::to_string(i);
+        g.ops.push_back(
+            makeOp(t, i, dynamic, dim_i, spec.baseSize, rng));
+        g.calls.push_back({g.ops.back().name});
+    }
+
+    Workload w;
+    w.name = spec.name;
+    w.graph = std::move(g);
+    util::Rng drng(0x900 + row);
+    w.canonicalData =
+        synth::generateRuntimeData(w.graph, drng, spec.baseSize);
+    // Input-size modification protocol: image rows vary H, NLP rows vary L.
+    for (int i = 0; i < 6; ++i)
+        w.variants.push_back(
+            synth::generateRuntimeData(w.graph, drng, spec.baseSize));
+    return w;
+}
+
+} // namespace
+
+std::vector<Workload>
+modern()
+{
+    std::vector<Workload> out;
+    for (int row = 0; row < 14; ++row)
+        out.push_back(makeApp(row));
+    return out;
+}
+
+} // namespace workloads
+} // namespace llmulator

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * PolyBench kernels in the dataflow IR.
+ *
+ * Each kernel preserves the loop/dependence structure of its PolyBench-C
+ * counterpart (sweep directions, loop-carried accumulations, stencil
+ * shapes) at reduced statement count so a workload fits the model context
+ * window. Problem sizes are dynamic parameters ("N", "T"), making every
+ * kernel input-adaptive (Class II) — the property Tables 3 and 11 exercise.
+ */
+
+#include "workloads/workloads.h"
+
+#include "dfir/builder.h"
+#include "synth/generators.h"
+#include "util/rng.h"
+
+namespace llmulator {
+namespace workloads {
+
+namespace {
+
+using namespace dfir;
+
+/** Finish a workload: canonical data + size variants at ±50%. */
+Workload
+finish(const std::string& name, DataflowGraph g, long base_n,
+       uint64_t seed)
+{
+    Workload w;
+    w.name = name;
+    w.graph = std::move(g);
+    util::Rng rng(seed);
+    w.canonicalData = synth::generateRuntimeData(w.graph, rng, base_n);
+    for (int i = 0; i < 6; ++i)
+        w.variants.push_back(
+            synth::generateRuntimeData(w.graph, rng, base_n));
+    return w;
+}
+
+DataflowGraph
+graphOf(std::vector<Operator> ops, const std::string& name)
+{
+    DataflowGraph g;
+    g.name = name;
+    for (const auto& op : ops)
+        g.calls.push_back({op.name});
+    g.ops = std::move(ops);
+    return g;
+}
+
+/** adi: alternating-direction implicit — row sweep then column sweep. */
+Workload
+makeAdi()
+{
+    Operator op;
+    op.name = "adi";
+    op.scalarParams = {"N"};
+    op.tensors = {tensor("u", {p("N"), p("N")}),
+                  tensor("vv", {p("N"), p("N")})};
+    auto row = assign(
+        "vv", {v("i"), v("j")},
+        badd(a("u", {v("i"), v("j")}),
+             bmul(a("u", {v("i"), bsub(v("j"), c(1))}), c(2))));
+    auto col = assign(
+        "u", {v("i"), v("j")},
+        badd(a("vv", {v("i"), v("j")}),
+             bmul(a("vv", {bsub(v("i"), c(1)), v("j")}), c(2))));
+    op.body = {
+        forLoop("i", c(0), p("N"),
+                {forLoop("j", c(1), p("N"), {row})}),
+        forLoop("i", c(1), p("N"),
+                {forLoop("j", c(0), p("N"), {col})}),
+    };
+    return finish("adi", graphOf({op}, "adi"), 20, 101);
+}
+
+/** atax: y = A^T (A x). */
+Workload
+makeAtax()
+{
+    Operator op;
+    op.name = "atax";
+    op.scalarParams = {"N"};
+    op.tensors = {tensor("A", {p("N"), p("N")}), tensor("x", {p("N")}),
+                  tensor("tmp", {p("N")}), tensor("y", {p("N")})};
+    auto s1 = assign("tmp", {v("i")},
+                     badd(a("tmp", {v("i")}),
+                          bmul(a("A", {v("i"), v("j")}), a("x", {v("j")}))));
+    auto s2 = assign("y", {v("j")},
+                     badd(a("y", {v("j")}),
+                          bmul(a("A", {v("i"), v("j")}),
+                               a("tmp", {v("i")}))));
+    op.body = {
+        forLoop("i", c(0), p("N"), {forLoop("j", c(0), p("N"), {s1})}),
+        forLoop("i", c(0), p("N"), {forLoop("j", c(0), p("N"), {s2})}),
+    };
+    return finish("atax", graphOf({op}, "atax"), 20, 102);
+}
+
+/** bicg: s = A^T r ; q = A p. */
+Workload
+makeBicg()
+{
+    Operator op;
+    op.name = "bicg";
+    op.scalarParams = {"N"};
+    op.tensors = {tensor("A", {p("N"), p("N")}), tensor("r", {p("N")}),
+                  tensor("s", {p("N")}), tensor("q", {p("N")}),
+                  tensor("pp", {p("N")})};
+    auto s1 = assign("s", {v("j")},
+                     badd(a("s", {v("j")}),
+                          bmul(a("r", {v("i")}),
+                               a("A", {v("i"), v("j")}))));
+    auto s2 = assign("q", {v("i")},
+                     badd(a("q", {v("i")}),
+                          bmul(a("A", {v("i"), v("j")}),
+                               a("pp", {v("j")}))));
+    op.body = {forLoop("i", c(0), p("N"),
+                       {forLoop("j", c(0), p("N"), {s1, s2})})};
+    return finish("bicg", graphOf({op}, "bicg"), 20, 103);
+}
+
+/** correlation: column means then correlation accumulation. */
+Workload
+makeCorrelation()
+{
+    Operator op;
+    op.name = "correlation";
+    op.scalarParams = {"N"};
+    op.tensors = {tensor("D", {p("N"), p("N")}), tensor("mean", {p("N")}),
+                  tensor("corr", {p("N"), p("N")})};
+    auto s1 = assign("mean", {v("j")},
+                     badd(a("mean", {v("j")}), a("D", {v("i"), v("j")})));
+    auto s2 = assign(
+        "corr", {v("i"), v("j")},
+        badd(a("corr", {v("i"), v("j")}),
+             bmul(bsub(a("D", {v("k"), v("i")}), a("mean", {v("i")})),
+                  bsub(a("D", {v("k"), v("j")}), a("mean", {v("j")})))));
+    op.body = {
+        forLoop("i", c(0), p("N"), {forLoop("j", c(0), p("N"), {s1})}),
+        forLoop("i", c(0), p("N"),
+                {forLoop("j", c(0), p("N"),
+                         {forLoop("k", c(0), p("N"), {s2})})}),
+    };
+    return finish("correlation", graphOf({op}, "correlation"), 12, 104);
+}
+
+/** covariance: like correlation without normalization. */
+Workload
+makeCovariance()
+{
+    Operator op;
+    op.name = "covariance";
+    op.scalarParams = {"N"};
+    op.tensors = {tensor("D", {p("N"), p("N")}),
+                  tensor("cov", {p("N"), p("N")})};
+    auto s = assign(
+        "cov", {v("i"), v("j")},
+        badd(a("cov", {v("i"), v("j")}),
+             bmul(a("D", {v("k"), v("i")}), a("D", {v("k"), v("j")}))));
+    op.body = {forLoop("i", c(0), p("N"),
+                       {forLoop("j", c(0), p("N"),
+                                {forLoop("k", c(0), p("N"), {s})})})};
+    return finish("covariance", graphOf({op}, "covariance"), 12, 105);
+}
+
+/** deriche: recursive 1-D filters (loop-carried, unpipelineable sweeps). */
+Workload
+makeDeriche()
+{
+    Operator op;
+    op.name = "deriche";
+    op.scalarParams = {"N"};
+    op.tensors = {tensor("img", {p("N")}), tensor("y1", {p("N")}),
+                  tensor("y2", {p("N")})};
+    auto fwd = assign("y1", {v("i")},
+                      badd(bmul(a("img", {v("i")}), c(2)),
+                           bmul(a("y1", {bsub(v("i"), c(1))}), c(3))));
+    auto bwd = assign("y2", {v("i")},
+                      badd(a("y1", {v("i")}),
+                           bmul(a("y2", {badd(v("i"), c(1))}), c(3))));
+    op.body = {
+        forLoop("i", c(1), p("N"), {fwd}),
+        forLoop("i", c(0), bsub(p("N"), c(1)), {bwd}),
+    };
+    return finish("deriche", graphOf({op}, "deriche"), 48, 106);
+}
+
+/** fdtd-2d: three coupled field updates. */
+Workload
+makeFdtd2d()
+{
+    Operator op;
+    op.name = "fdtd2d";
+    op.scalarParams = {"N"};
+    op.tensors = {tensor("ex", {p("N"), p("N")}),
+                  tensor("ey", {p("N"), p("N")}),
+                  tensor("hz", {p("N"), p("N")})};
+    auto s1 = assign("ey", {v("i"), v("j")},
+                     bsub(a("ey", {v("i"), v("j")}),
+                          bmul(bsub(a("hz", {v("i"), v("j")}),
+                                    a("hz", {bsub(v("i"), c(1)), v("j")})),
+                               c(2))));
+    auto s2 = assign("ex", {v("i"), v("j")},
+                     bsub(a("ex", {v("i"), v("j")}),
+                          bmul(bsub(a("hz", {v("i"), v("j")}),
+                                    a("hz", {v("i"), bsub(v("j"), c(1))})),
+                               c(2))));
+    auto s3 = assign(
+        "hz", {v("i"), v("j")},
+        bsub(a("hz", {v("i"), v("j")}),
+             badd(bsub(a("ex", {v("i"), badd(v("j"), c(1))}),
+                       a("ex", {v("i"), v("j")})),
+                  bsub(a("ey", {badd(v("i"), c(1)), v("j")}),
+                       a("ey", {v("i"), v("j")})))));
+    op.body = {forLoop("i", c(1), bsub(p("N"), c(1)),
+                       {forLoop("j", c(1), bsub(p("N"), c(1)),
+                                {s1, s2, s3})})};
+    return finish("fdtd-2d", graphOf({op}, "fdtd2d"), 20, 107);
+}
+
+/** heat-3d: 3-deep stencil. */
+Workload
+makeHeat3d()
+{
+    Operator op;
+    op.name = "heat3d";
+    op.scalarParams = {"N"};
+    op.tensors = {tensor("A", {p("N"), p("N"), p("N")}),
+                  tensor("B", {p("N"), p("N"), p("N")})};
+    auto s = assign(
+        "B", {v("i"), v("j"), v("k")},
+        badd(a("A", {v("i"), v("j"), v("k")}),
+             bmul(badd(a("A", {badd(v("i"), c(1)), v("j"), v("k")}),
+                       a("A", {v("i"), badd(v("j"), c(1)), v("k")})),
+                  c(2))));
+    op.body = {forLoop(
+        "i", c(0), bsub(p("N"), c(1)),
+        {forLoop("j", c(0), bsub(p("N"), c(1)),
+                 {forLoop("k", c(0), bsub(p("N"), c(1)), {s})})})};
+    return finish("heat-3d", graphOf({op}, "heat3d"), 10, 108);
+}
+
+/** jacobi-2d: 5-point stencil ping-pong. */
+Workload
+makeJacobi2d()
+{
+    Operator op;
+    op.name = "jacobi2d";
+    op.scalarParams = {"N"};
+    op.tensors = {tensor("A", {p("N"), p("N")}),
+                  tensor("B", {p("N"), p("N")})};
+    auto s1 = assign(
+        "B", {v("i"), v("j")},
+        bmul(badd(badd(a("A", {v("i"), v("j")}),
+                       a("A", {v("i"), bsub(v("j"), c(1))})),
+                  badd(a("A", {bsub(v("i"), c(1)), v("j")}),
+                       a("A", {badd(v("i"), c(1)), v("j")}))),
+             c(2)));
+    auto s2 = assign("A", {v("i"), v("j")}, a("B", {v("i"), v("j")}));
+    op.body = {
+        forLoop("i", c(1), bsub(p("N"), c(1)),
+                {forLoop("j", c(1), bsub(p("N"), c(1)), {s1})}),
+        forLoop("i", c(1), bsub(p("N"), c(1)),
+                {forLoop("j", c(1), bsub(p("N"), c(1)), {s2})}),
+    };
+    return finish("jacobi-2d", graphOf({op}, "jacobi2d"), 20, 109);
+}
+
+/** seidel-2d: in-place stencil (loop-carried dependence). */
+Workload
+makeSeidel2d()
+{
+    Operator op;
+    op.name = "seidel2d";
+    op.scalarParams = {"N"};
+    op.tensors = {tensor("A", {p("N"), p("N")})};
+    auto s = assign(
+        "A", {v("i"), v("j")},
+        bdiv(badd(badd(a("A", {bsub(v("i"), c(1)), v("j")}),
+                       a("A", {v("i"), bsub(v("j"), c(1))})),
+                  badd(a("A", {v("i"), v("j")}),
+                       a("A", {badd(v("i"), c(1)), v("j")}))),
+             c(4)));
+    op.body = {forLoop("i", c(1), bsub(p("N"), c(1)),
+                       {forLoop("j", c(1), bsub(p("N"), c(1)), {s})})};
+    return finish("seidel-2d", graphOf({op}, "seidel2d"), 20, 110);
+}
+
+} // namespace
+
+std::vector<Workload>
+polybench()
+{
+    return {makeAdi(),        makeAtax(),     makeBicg(),
+            makeCorrelation(), makeCovariance(), makeDeriche(),
+            makeFdtd2d(),     makeHeat3d(),   makeJacobi2d(),
+            makeSeidel2d()};
+}
+
+} // namespace workloads
+} // namespace llmulator

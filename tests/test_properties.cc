@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Parameterized property tests (TEST_P sweeps) over the substrate and the
+ * numeric-modeling invariants:
+ *  - simulator monotonicity in problem size and memory delay,
+ *  - pragma speedups never hurting and never breaking determinism,
+ *  - HLS metric monotonicity under spatial replication,
+ *  - digit codec round trips across bases and widths,
+ *  - tokenizer linear-growth and determinism across magnitudes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dfir/builder.h"
+#include "hls/compile.h"
+#include "model/numeric_head.h"
+#include "sim/profiler.h"
+#include "tokenizer/tokenizer.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace llmulator;
+using namespace llmulator::dfir;
+
+DataflowGraph
+gemmGraph(long n, int unroll, bool parallel, int mem_delay)
+{
+    Operator op;
+    op.name = "gemm";
+    op.tensors = {tensor("A", {c(n), c(n)}), tensor("B", {c(n), c(n)}),
+                  tensor("C", {c(n), c(n)})};
+    auto body = assign(
+        "C", {v("i"), v("j")},
+        badd(a("C", {v("i"), v("j")}),
+             bmul(a("A", {v("i"), v("k")}), a("B", {v("k"), v("j")}))));
+    op.body = {forLoop(
+        "i", c(0), c(n),
+        {forLoop("j", c(0), c(n),
+                 {forLoop("k", c(0), c(n), {body}, 1, unroll, parallel)})})};
+    DataflowGraph g;
+    g.name = "gemm";
+    g.ops = {op};
+    g.calls = {{"gemm"}};
+    g.params.memReadDelay = mem_delay;
+    g.params.memWriteDelay = mem_delay;
+    return g;
+}
+
+// ---------------------------------------------------------------- sim --
+
+class SimSizeSweep : public ::testing::TestWithParam<long>
+{
+};
+
+TEST_P(SimSizeSweep, CyclesStrictlyIncreaseWithProblemSize)
+{
+    long n = GetParam();
+    long small = sim::profileStatic(gemmGraph(n, 1, false, 10)).cycles;
+    long big = sim::profileStatic(gemmGraph(n + 4, 1, false, 10)).cycles;
+    EXPECT_LT(small, big);
+}
+
+TEST_P(SimSizeSweep, StaticMetricsIndependentOfProblemSizeConstants)
+{
+    // Resource binding depends on the loop *body*, not trip counts: the
+    // same datapath iterates more.
+    long n = GetParam();
+    auto a = hls::compile(gemmGraph(n, 1, false, 10));
+    auto b = hls::compile(gemmGraph(n + 4, 1, false, 10));
+    EXPECT_EQ(a.fuCount[static_cast<int>(hw::FuKind::Mul)],
+              b.fuCount[static_cast<int>(hw::FuKind::Mul)]);
+    EXPECT_EQ(a.flipFlops, b.flipFlops);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SimSizeSweep,
+                         ::testing::Values(4L, 8L, 12L, 16L, 24L));
+
+class SimDelaySweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SimDelaySweep, CyclesMonotoneInMemoryDelay)
+{
+    int d = GetParam();
+    long faster = sim::profileStatic(gemmGraph(12, 1, false, d)).cycles;
+    long slower =
+        sim::profileStatic(gemmGraph(12, 1, false, d + 3)).cycles;
+    EXPECT_LE(faster, slower);
+}
+
+TEST_P(SimDelaySweep, DeterministicAcrossRepeats)
+{
+    int d = GetParam();
+    auto g = gemmGraph(10, 2, true, d);
+    long c1 = sim::profileStatic(g).cycles;
+    long c2 = sim::profileStatic(g).cycles;
+    EXPECT_EQ(c1, c2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Delays, SimDelaySweep,
+                         ::testing::Values(1, 2, 5, 10, 15, 20));
+
+class PragmaSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PragmaSweep, UnrollNeverSlowsDown)
+{
+    int u = GetParam();
+    long base = sim::profileStatic(gemmGraph(16, 1, false, 10)).cycles;
+    long unrolled =
+        sim::profileStatic(gemmGraph(16, u, false, 10)).cycles;
+    EXPECT_LE(unrolled, base);
+}
+
+TEST_P(PragmaSweep, UnrollNeverShrinksArea)
+{
+    int u = GetParam();
+    auto base = hls::compile(gemmGraph(16, 1, false, 10));
+    auto unrolled = hls::compile(gemmGraph(16, u, false, 10));
+    EXPECT_GE(unrolled.areaUm2, base.areaUm2);
+    EXPECT_GE(unrolled.flipFlops, base.flipFlops);
+    EXPECT_GE(unrolled.powerUw, base.powerUw);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, PragmaSweep,
+                         ::testing::Values(1, 2, 4, 8));
+
+// --------------------------------------------------------- digit codec --
+
+struct CodecParam
+{
+    int base;
+    int width;
+};
+
+class DigitCodecSweep : public ::testing::TestWithParam<CodecParam>
+{
+};
+
+TEST_P(DigitCodecSweep, RoundTripsRandomValues)
+{
+    auto [base, width] = GetParam();
+    long max_value = 1;
+    for (int i = 0; i < width; ++i)
+        max_value *= base;
+    util::Rng rng(base * 131 + width);
+    for (int trial = 0; trial < 200; ++trial) {
+        long value = rng.uniformInt(0, max_value - 1);
+        auto digits = model::toDigits(value, base, width);
+        ASSERT_EQ(digits.size(), static_cast<size_t>(width));
+        for (int d : digits) {
+            ASSERT_GE(d, 0);
+            ASSERT_LT(d, base);
+        }
+        EXPECT_EQ(model::fromDigits(digits, base), value);
+    }
+}
+
+TEST_P(DigitCodecSweep, OrderingPreserved)
+{
+    // MSB-first encoding is lexicographically monotone in the value.
+    auto [base, width] = GetParam();
+    long max_value = 1;
+    for (int i = 0; i < width; ++i)
+        max_value *= base;
+    util::Rng rng(base * 31 + width);
+    for (int trial = 0; trial < 100; ++trial) {
+        long x = rng.uniformInt(0, max_value - 2);
+        long y = rng.uniformInt(x + 1, max_value - 1);
+        EXPECT_LT(model::toDigits(x, base, width),
+                  model::toDigits(y, base, width));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bases, DigitCodecSweep,
+    ::testing::Values(CodecParam{2, 10}, CodecParam{8, 6},
+                      CodecParam{10, 6}, CodecParam{10, 8},
+                      CodecParam{16, 5}));
+
+// ----------------------------------------------------------- tokenizer --
+
+class TokenizerMagnitudeSweep : public ::testing::TestWithParam<long>
+{
+};
+
+TEST_P(TokenizerMagnitudeSweep, ProgressiveLengthEqualsDigitCount)
+{
+    long value = GetParam();
+    tokenizer::Tokenizer tok;
+    std::string text = "x = " + std::to_string(value);
+    auto ids = tok.encode(text);
+    size_t digits = std::to_string(value).size();
+    EXPECT_EQ(ids.size(), 2 + digits); // ident + '=' + one token per digit
+    EXPECT_EQ(ids, tok.encode(text));  // determinism
+}
+
+TEST_P(TokenizerMagnitudeSweep, NoEncAlwaysOneToken)
+{
+    long value = GetParam();
+    tokenizer::TokenizerConfig cfg;
+    cfg.progressiveNumbers = false;
+    tokenizer::Tokenizer tok(cfg);
+    auto ids = tok.encode("x = " + std::to_string(value));
+    EXPECT_EQ(ids.size(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, TokenizerMagnitudeSweep,
+                         ::testing::Values(7L, 42L, 655L, 10000L,
+                                           9999999L, 123456789L));
+
+// ------------------------------------------------------ hls composition --
+
+class HlsCompositionSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(HlsCompositionSweep, GraphMetricsAtLeastPerOperatorMetrics)
+{
+    // Composing distinct operators can only add resources.
+    int extra_ops = GetParam();
+    util::Rng rng(extra_ops);
+    DataflowGraph g = gemmGraph(8, 1, false, 10);
+    for (int i = 0; i < extra_ops; ++i) {
+        Operator op;
+        op.name = "relu" + std::to_string(i);
+        std::string arr = "R" + std::to_string(i);
+        op.tensors = {tensor(arr, {c(16)})};
+        op.body = {forLoop("i", c(0), c(16),
+                           {assign(arr, {v("i")},
+                                   bmax(a(arr, {v("i")}), c(0)))})};
+        g.ops.push_back(op);
+        g.calls.push_back({op.name});
+    }
+    auto base = hls::compile(gemmGraph(8, 1, false, 10));
+    auto combined = hls::compile(g);
+    EXPECT_GE(combined.areaUm2, base.areaUm2);
+    EXPECT_GE(combined.flipFlops, base.flipFlops);
+    EXPECT_GE(combined.modulesInstantiated, base.modulesInstantiated);
+}
+
+INSTANTIATE_TEST_SUITE_P(ExtraOps, HlsCompositionSweep,
+                         ::testing::Values(0, 1, 2, 4));
+
+} // namespace

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * HLS compiler + cycle simulator tests: the deterministic ground-truth
+ * substrate must behave like hardware in all the ways the paper's
+ * experiments rely on (input sensitivity, memory-delay sensitivity,
+ * pragma speedups, resource scaling).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dfir/builder.h"
+#include "hls/compile.h"
+#include "sim/profiler.h"
+
+namespace {
+
+using namespace llmulator;
+using namespace llmulator::dfir;
+
+Operator
+makeGemm(long n, int unroll = 1, bool parallel = false)
+{
+    Operator op;
+    op.name = "gemm";
+    op.tensors = {tensor("A", {c(n), c(n)}), tensor("B", {c(n), c(n)}),
+                  tensor("C", {c(n), c(n)})};
+    auto body = assign(
+        "C", {v("i"), v("j")},
+        badd(a("C", {v("i"), v("j")}),
+             bmul(a("A", {v("i"), v("k")}), a("B", {v("k"), v("j")}))));
+    op.body = {forLoop(
+        "i", c(0), c(n),
+        {forLoop("j", c(0), c(n),
+                 {forLoop("k", c(0), c(n), {body}, 1, unroll, parallel)})})};
+    return op;
+}
+
+Operator
+makeThreshold()
+{
+    Operator op;
+    op.name = "thresh";
+    op.tensors = {tensor("X", {p("N")}), tensor("Y", {p("N")})};
+    op.scalarParams = {"N"};
+    auto branch = ifStmt(
+        bgt(a("X", {v("i")}), c(0)),
+        {assign("Y", {v("i")},
+                bmul(bmul(a("X", {v("i")}), a("X", {v("i")})), c(2)))},
+        {assign("Y", {v("i")}, c(0))});
+    op.body = {forLoop("i", c(0), p("N"), {branch})};
+    return op;
+}
+
+DataflowGraph
+makeGraph(std::vector<Operator> ops)
+{
+    DataflowGraph g;
+    g.name = "test";
+    for (const auto& op : ops)
+        g.calls.push_back({op.name});
+    g.ops = std::move(ops);
+    return g;
+}
+
+TEST(Hls, ResourceCountsArePositiveAndScaleWithUnroll)
+{
+    auto g1 = makeGraph({makeGemm(8, 1)});
+    auto g4 = makeGraph({makeGemm(8, 4)});
+    auto r1 = hls::compile(g1);
+    auto r4 = hls::compile(g4);
+    EXPECT_GT(r1.areaUm2, 0);
+    EXPECT_GT(r1.powerUw, 0);
+    EXPECT_GT(r1.flipFlops, 0);
+    EXPECT_GT(r1.modulesInstantiated, 0);
+    // Unrolling replicates datapath: more multipliers, more area.
+    EXPECT_GT(r4.fuCount[static_cast<int>(hw::FuKind::Mul)],
+              r1.fuCount[static_cast<int>(hw::FuKind::Mul)]);
+    EXPECT_GT(r4.areaUm2, r1.areaUm2);
+    EXPECT_GT(r4.flipFlops, r1.flipFlops);
+}
+
+TEST(Hls, SharingInsertsMuxes)
+{
+    // Two statements using multipliers -> shared FU needs muxes.
+    Operator op;
+    op.name = "two";
+    op.tensors = {tensor("A", {c(16)}), tensor("B", {c(16)})};
+    op.body = {
+        forLoop("i", c(0), c(16),
+                {assign("A", {v("i")},
+                        bmul(a("B", {v("i")}), a("B", {v("i")}))),
+                 assign("B", {v("i")},
+                        bmul(a("A", {v("i")}), c(3)))})};
+    auto r = hls::compile(makeGraph({op}));
+    EXPECT_GT(r.allocatedMuxes, 0);
+    EXPECT_GT(r.muxAreaUm2, 0);
+}
+
+TEST(Hls, RepeatedCallsShareModules)
+{
+    auto op = makeGemm(8);
+    DataflowGraph g;
+    g.name = "twice";
+    g.ops = {op};
+    g.calls = {{"gemm"}, {"gemm"}};
+    auto r2 = hls::compile(g);
+    g.calls = {{"gemm"}};
+    auto r1 = hls::compile(g);
+    // Function-level sharing: second call adds controller states only.
+    EXPECT_EQ(r2.fuCount[static_cast<int>(hw::FuKind::Mul)],
+              r1.fuCount[static_cast<int>(hw::FuKind::Mul)]);
+    EXPECT_GT(r2.fsmStates, r1.fsmStates);
+}
+
+TEST(Sim, CyclesScaleWithProblemSize)
+{
+    auto p8 = sim::profileStatic(makeGraph({makeGemm(8)}));
+    auto p16 = sim::profileStatic(makeGraph({makeGemm(16)}));
+    EXPECT_GT(p8.cycles, 0);
+    // 16^3 / 8^3 = 8x work; pipelined model stays roughly cubic.
+    EXPECT_GT(p16.cycles, p8.cycles * 4);
+    EXPECT_LT(p16.cycles, p8.cycles * 16);
+}
+
+TEST(Sim, MemoryDelayRaisesCycles)
+{
+    auto g = makeGraph({makeGemm(8)});
+    g.params.memReadDelay = 2;
+    g.params.memWriteDelay = 2;
+    long fast = sim::profileStatic(g).cycles;
+    g.params.memReadDelay = 15;
+    g.params.memWriteDelay = 15;
+    long slow = sim::profileStatic(g).cycles;
+    EXPECT_GT(slow, fast);
+}
+
+TEST(Sim, UnrollAndParallelSpeedUp)
+{
+    long base = sim::profileStatic(makeGraph({makeGemm(16, 1, false)})).cycles;
+    long unrolled =
+        sim::profileStatic(makeGraph({makeGemm(16, 4, false)})).cycles;
+    long par = sim::profileStatic(makeGraph({makeGemm(16, 1, true)})).cycles;
+    EXPECT_LT(unrolled, base);
+    EXPECT_LT(par, base);
+}
+
+TEST(Sim, InputDataChangesCycles)
+{
+    // The defining property for the paper's dynamic calibration: the same
+    // program with different *data* takes different cycles because the
+    // then-arm (two multiplies) is costlier than the else-arm (constant).
+    auto g = makeGraph({makeThreshold()});
+    RuntimeData all_pos, all_neg;
+    all_pos.scalars["N"] = 64;
+    all_neg.scalars["N"] = 64;
+    all_pos.tensors["X"] = std::vector<double>(64, 5.0);
+    all_neg.tensors["X"] = std::vector<double>(64, -5.0);
+    long pos = sim::profile(g, all_pos).cycles;
+    long neg = sim::profile(g, all_neg).cycles;
+    EXPECT_GT(pos, neg);
+}
+
+TEST(Sim, DynamicLoopBoundTracksScalarInput)
+{
+    auto g = makeGraph({makeThreshold()});
+    RuntimeData small, large;
+    small.scalars["N"] = 16;
+    large.scalars["N"] = 256;
+    long c_small = sim::profile(g, small).cycles;
+    long c_large = sim::profile(g, large).cycles;
+    EXPECT_GT(c_large, c_small * 8);
+}
+
+TEST(Sim, BranchStatisticsRecorded)
+{
+    auto g = makeGraph({makeThreshold()});
+    RuntimeData data;
+    data.scalars["N"] = 10;
+    data.tensors["X"] = {1, -1, 1, -1, 1, -1, 1, -1, 1, -1};
+    auto prof = sim::profile(g, data);
+    EXPECT_EQ(prof.branchesTaken, 5);
+    EXPECT_EQ(prof.branchesNotTaken, 5);
+}
+
+TEST(Sim, DeterministicAcrossRuns)
+{
+    auto g = makeGraph({makeGemm(12), makeThreshold()});
+    RuntimeData data;
+    data.scalars["N"] = 33;
+    auto p1 = sim::profile(g, data);
+    auto p2 = sim::profile(g, data);
+    EXPECT_EQ(p1.cycles, p2.cycles);
+    EXPECT_EQ(p1.flipFlops, p2.flipFlops);
+    EXPECT_DOUBLE_EQ(p1.areaUm2, p2.areaUm2);
+}
+
+TEST(Sim, StaticMetricsIndependentOfInput)
+{
+    // Power/area/FF are compile-time metrics: runtime data must not move
+    // them (paper Section 5.2 static/dynamic separation).
+    auto g = makeGraph({makeThreshold()});
+    RuntimeData d1, d2;
+    d1.scalars["N"] = 8;
+    d2.scalars["N"] = 512;
+    auto p1 = sim::profile(g, d1);
+    auto p2 = sim::profile(g, d2);
+    EXPECT_DOUBLE_EQ(p1.areaUm2, p2.areaUm2);
+    EXPECT_DOUBLE_EQ(p1.powerUw, p2.powerUw);
+    EXPECT_EQ(p1.flipFlops, p2.flipFlops);
+    EXPECT_NE(p1.cycles, p2.cycles);
+}
+
+TEST(Sim, HugeLoopExtrapolationStaysBounded)
+{
+    Operator op;
+    op.name = "big";
+    op.tensors = {tensor("X", {c(64)})};
+    op.body = {forLoop(
+        "i", c(0), c(2000000),
+        {ifStmt(bgt(a("X", {v("i")}), c(0)),
+                {assign("X", {v("i")}, c(1))}, {})})};
+    auto g = makeGraph({op});
+    auto prof = sim::profileStatic(g);
+    EXPECT_GT(prof.cycles, 1000000);
+    // Interpreter must not have executed two million statements.
+    EXPECT_LT(prof.stmtsExecuted, 20000);
+}
+
+} // namespace

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Dataset-synthesizer tests (paper Section 6): generator validity,
+ * mutation behaviour, hardware augmentation coverage, runtime-data
+ * generation, data formatting and full dataset assembly.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dfir/analysis.h"
+#include "dfir/printer.h"
+#include "sim/profiler.h"
+#include "synth/dataset.h"
+#include "synth/generators.h"
+
+namespace {
+
+using namespace llmulator;
+
+TEST(Generators, AstProgramsAreExecutable)
+{
+    util::Rng rng(1);
+    for (int i = 0; i < 25; ++i) {
+        auto g = synth::generateAstProgram(rng);
+        auto prof = sim::profileStatic(g);
+        EXPECT_GT(prof.cycles, 0);
+        EXPECT_GT(prof.areaUm2, 0);
+    }
+}
+
+TEST(Generators, DataflowProgramsAreExecutable)
+{
+    util::Rng rng(2);
+    for (int i = 0; i < 25; ++i) {
+        auto g = synth::generateDataflowProgram(rng);
+        auto prof = sim::profileStatic(g);
+        EXPECT_GT(prof.cycles, 0);
+    }
+}
+
+TEST(Generators, DataflowProgramsAreDiverse)
+{
+    util::Rng rng(3);
+    std::set<uint64_t> hashes;
+    for (int i = 0; i < 30; ++i)
+        hashes.insert(
+            dfir::structuralHash(synth::generateDataflowProgram(rng)));
+    EXPECT_GT(hashes.size(), 25u);
+}
+
+TEST(Generators, MutationChangesStructureButStaysExecutable)
+{
+    util::Rng rng(4);
+    auto base = synth::generateDataflowProgram(rng);
+    int changed = 0;
+    for (int i = 0; i < 10; ++i) {
+        auto mut = synth::mutateProgram(base, rng);
+        auto prof = sim::profileStatic(mut);
+        EXPECT_GT(prof.cycles, 0);
+        changed += dfir::structuralHash(mut) != dfir::structuralHash(base);
+    }
+    EXPECT_GT(changed, 5);
+}
+
+TEST(Generators, HardwareAugmentationCoversDelaySet)
+{
+    util::Rng rng(5);
+    std::set<int> delays_seen;
+    for (int i = 0; i < 40; ++i) {
+        auto g = synth::generateDataflowProgram(rng);
+        synth::augmentHardware(g, rng, {10, 5, 2});
+        delays_seen.insert(g.params.memReadDelay);
+        EXPECT_GE(g.params.readPorts, 1);
+        EXPECT_LE(g.params.readPorts, 4);
+    }
+    EXPECT_EQ(delays_seen, (std::set<int>{2, 5, 10}));
+}
+
+TEST(Generators, RuntimeDataCoversParamsWithinRange)
+{
+    util::Rng rng(6);
+    // Find a program with dynamic params (Window template guarantees some).
+    for (int i = 0; i < 50; ++i) {
+        auto g = synth::generateDataflowProgram(rng);
+        if (dfir::countDynamicParams(g) == 0)
+            continue;
+        auto data = synth::generateRuntimeData(g, rng, 16);
+        EXPECT_FALSE(data.scalars.empty());
+        for (const auto& [name, value] : data.scalars) {
+            EXPECT_GE(value, 2);
+            EXPECT_LE(value, 24); // 16 * 1.5
+        }
+        return;
+    }
+    FAIL() << "no dynamic program generated in 50 tries";
+}
+
+TEST(Formatting, ReasoningFragmentMatchesFigure8)
+{
+    util::Rng rng(7);
+    auto g = synth::generateDataflowProgram(rng);
+    auto prof = sim::profileStatic(g);
+    std::string frag = synth::reasoningFragment(prof.rtl);
+    EXPECT_NE(frag.find("Number of modules instantiated"),
+              std::string::npos);
+    EXPECT_NE(frag.find("performance conflicts"), std::string::npos);
+    EXPECT_NE(frag.find("MUX21"), std::string::npos);
+    EXPECT_NE(frag.find("allocated multiplexers"), std::string::npos);
+}
+
+TEST(Dataset, SynthesizeProducesMixedSources)
+{
+    synth::SynthConfig cfg;
+    cfg.numPrograms = 30;
+    auto ds = synth::synthesize(cfg);
+    ASSERT_GE(ds.size(), 30u);
+    int ast = 0, df = 0, llm = 0, dynamic = 0;
+    for (const auto& s : ds.samples) {
+        ast += s.source == synth::SourceKind::Ast;
+        df += s.source == synth::SourceKind::Dataflow;
+        llm += s.source == synth::SourceKind::LlmMutation;
+        dynamic += s.hasData;
+        // Labels are populated and plausible.
+        EXPECT_GT(s.targets.cycles, 0);
+        EXPECT_GT(s.targets.area, 0);
+        EXPECT_GT(s.targets.power, 0);
+    }
+    EXPECT_GT(ast, 0);
+    EXPECT_GT(df, 0);
+    EXPECT_GT(llm, 0);
+    EXPECT_GT(dynamic, 0) << "no input-variant samples for cycle training";
+}
+
+TEST(Dataset, NoAugmentationAblationIsAstOnly)
+{
+    synth::SynthConfig cfg;
+    cfg.numPrograms = 15;
+    auto ds = synth::synthesizeNoAugmentation(cfg);
+    ASSERT_EQ(ds.size(), 15u);
+    for (const auto& s : ds.samples) {
+        EXPECT_EQ(s.source, synth::SourceKind::Ast);
+        EXPECT_FALSE(s.hasData);
+        EXPECT_TRUE(s.reasoning.empty());
+    }
+}
+
+TEST(Dataset, DeterministicForFixedSeed)
+{
+    synth::SynthConfig cfg;
+    cfg.numPrograms = 10;
+    auto a = synth::synthesize(cfg);
+    auto b = synth::synthesize(cfg);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(dfir::structuralHash(a.samples[i].graph),
+                  dfir::structuralHash(b.samples[i].graph));
+        EXPECT_EQ(a.samples[i].targets.cycles, b.samples[i].targets.cycles);
+    }
+}
+
+TEST(Dataset, ReasoningFormatAttachesFragments)
+{
+    synth::SynthConfig cfg;
+    cfg.numPrograms = 20;
+    cfg.reasoningFormat = true;
+    auto ds = synth::synthesize(cfg);
+    int with_reasoning = 0;
+    for (const auto& s : ds.samples)
+        with_reasoning += !s.reasoning.empty();
+    EXPECT_GT(with_reasoning, 0);
+}
+
+} // namespace

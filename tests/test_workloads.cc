@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Workload-suite tests: the PolyBench kernels, Table-2 modern apps and
+ * accelerator variants must be well-formed, profile deterministically,
+ * stay within the model context budget, and expose the input-adaptivity
+ * the evaluation relies on.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dfir/analysis.h"
+#include "dfir/printer.h"
+#include "sim/profiler.h"
+#include "tokenizer/tokenizer.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace llmulator;
+using workloads::Workload;
+
+void
+checkSuite(const std::vector<Workload>& ws, size_t expected_count,
+           int max_tokens)
+{
+    ASSERT_EQ(ws.size(), expected_count);
+    tokenizer::Tokenizer tok;
+    std::set<std::string> names;
+    for (const auto& w : ws) {
+        SCOPED_TRACE(w.name);
+        EXPECT_TRUE(names.insert(w.name).second) << "duplicate name";
+        // Well-formed: calls resolve, profile succeeds, cycles positive.
+        for (const auto& call : w.graph.calls)
+            EXPECT_NE(w.graph.findOp(call.opName), nullptr);
+        auto prof = sim::profile(w.graph, w.canonicalData);
+        EXPECT_GT(prof.cycles, 0);
+        EXPECT_GT(prof.areaUm2, 0);
+        EXPECT_GT(prof.flipFlops, 0);
+        // Cycles fit the digit head's 8-decimal-digit range.
+        EXPECT_LT(prof.cycles, 100000000L);
+        // Static text fits the context budget.
+        auto ids = tok.encode(dfir::printStatic(w.graph));
+        EXPECT_LT(static_cast<int>(ids.size()), max_tokens)
+            << "static text too long: " << ids.size();
+        // Deterministic.
+        EXPECT_EQ(prof.cycles, sim::profile(w.graph, w.canonicalData).cycles);
+        // Variants exist for calibration experiments.
+        EXPECT_GE(w.variants.size(), 3u);
+    }
+}
+
+TEST(Workloads, PolybenchSuiteWellFormed)
+{
+    checkSuite(workloads::polybench(), 10, 400);
+}
+
+TEST(Workloads, ModernSuiteWellFormed)
+{
+    checkSuite(workloads::modern(), 14, 1100);
+}
+
+TEST(Workloads, AcceleratorsSuiteWellFormed)
+{
+    checkSuite(workloads::accelerators(), 3, 300);
+}
+
+TEST(Workloads, PolybenchKernelsAreInputAdaptive)
+{
+    // Every kernel has dynamic (param-dependent) control flow: the N
+    // parameter drives loop bounds, so different inputs give different
+    // cycle counts.
+    for (const auto& w : workloads::polybench()) {
+        SCOPED_TRACE(w.name);
+        EXPECT_GT(dfir::countDynamicParams(w.graph), 0);
+        long canonical = sim::profile(w.graph, w.canonicalData).cycles;
+        bool any_different = false;
+        for (const auto& var : w.variants)
+            any_different |=
+                sim::profile(w.graph, var).cycles != canonical;
+        EXPECT_TRUE(any_different) << "variants never change cycles";
+    }
+}
+
+TEST(Workloads, AcceleratorVariantsDifferStructurally)
+{
+    auto accs = workloads::accelerators();
+    std::set<uint64_t> hashes;
+    for (const auto& w : accs)
+        hashes.insert(dfir::structuralHash(w.graph));
+    EXPECT_EQ(hashes.size(), accs.size());
+    // Different schedules yield different hardware: area or cycles differ.
+    auto p0 = sim::profile(accs[0].graph, accs[0].canonicalData);
+    auto p1 = sim::profile(accs[1].graph, accs[1].canonicalData);
+    auto p2 = sim::profile(accs[2].graph, accs[2].canonicalData);
+    EXPECT_TRUE(p0.areaUm2 != p1.areaUm2 || p0.cycles != p1.cycles);
+    EXPECT_TRUE(p1.areaUm2 != p2.areaUm2 || p1.cycles != p2.cycles);
+}
+
+TEST(Workloads, ModernRowsTrackTable2Structure)
+{
+    auto ws = workloads::modern();
+    // Row 4 (CBAM) has the most dynamic operators of the image rows;
+    // row 12 (T5) has the most operators overall — Table 2's shape.
+    size_t t5_ops = ws[11].graph.ops.size();
+    for (const auto& w : ws)
+        EXPECT_LE(w.graph.ops.size(), t5_ops);
+    EXPECT_GE(dfir::countDynamicParams(ws[3].graph), 2);
+}
+
+} // namespace
