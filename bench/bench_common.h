@@ -1,0 +1,54 @@
+#ifndef LLMULATOR_BENCH_BENCH_COMMON_H
+#define LLMULATOR_BENCH_BENCH_COMMON_H
+
+/**
+ * @file
+ * Shared CLI handling and machine-readable output for the bench suite.
+ *
+ * Every bench binary accepts `--quick`, which switches the harness into
+ * smoke mode (small synthesized corpus, one training epoch) so the full
+ * suite can run in CI. Headline aggregates are additionally emitted as
+ * `name,metric,value` CSV lines on stdout (prefix-free, one per line) so
+ * result trajectories can be scraped without parsing the pretty tables.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "harness/harness.h"
+
+namespace llmulator {
+namespace bench {
+
+/**
+ * Parse bench CLI flags. `--quick` forces harness smoke mode; unknown
+ * flags abort with a usage message. Line-buffers stdout so progress is
+ * visible when piped into a file or CI log.
+ */
+inline void
+parseArgs(int argc, char** argv)
+{
+    std::setvbuf(stdout, nullptr, _IOLBF, 0);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            harness::forceSmokeMode(true);
+        } else {
+            std::fprintf(stderr, "usage: %s [--quick]\n", argv[0]);
+            std::exit(2);
+        }
+    }
+}
+
+/** Emit one scrapeable `name,metric,value` CSV line. */
+inline void
+csv(const char* name, const char* metric, double value)
+{
+    std::printf("%s,%s,%.6g\n", name, metric, value);
+    std::fflush(stdout);
+}
+
+} // namespace bench
+} // namespace llmulator
+
+#endif // LLMULATOR_BENCH_BENCH_COMMON_H

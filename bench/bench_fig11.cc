@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "baselines/timeloop.h"
+#include "bench_common.h"
 #include "eval/metrics.h"
 #include "eval/table.h"
 #include "harness/harness.h"
@@ -23,8 +24,9 @@ using namespace llmulator;
 using model::Metric;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::parseArgs(argc, argv);
     std::printf("Figure 11: power MAPE, LLMulator vs Timeloop, on "
                 "Table-2 workloads\n");
 
@@ -53,5 +55,7 @@ main()
     std::printf("\n[shape] Ours %.1f%% vs Timeloop %.1f%% (paper: "
                 "10.2%% vs 16.2%%)\n",
                 eval::mean(e_ours) * 100, eval::mean(e_tl) * 100);
+    bench::csv("fig11", "mape_ours_power", eval::mean(e_ours));
+    bench::csv("fig11", "mape_timeloop_power", eval::mean(e_tl));
     return 0;
 }

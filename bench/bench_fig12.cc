@@ -13,6 +13,7 @@
 
 #include <cstdio>
 
+#include "bench_common.h"
 #include "eval/metrics.h"
 #include "eval/table.h"
 #include "harness/harness.h"
@@ -20,8 +21,9 @@
 using namespace llmulator;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::parseArgs(argc, argv);
     std::printf("Figure 12: cycles MAPE across memory R/W delay "
                 "settings (15 is out-of-distribution)\n");
 
@@ -61,5 +63,11 @@ main()
                 "delay 15 (OOD) should stay in band (paper: 20.8 / 19.6 "
                 "/ 16.4 / 21.4%%)\n",
                 avg[0] * 100, avg[1] * 100, avg[2] * 100, avg[3] * 100);
+    for (int di = 0; di < 4; ++di) {
+        char metric[32];
+        std::snprintf(metric, sizeof metric, "mape_cycles_delay%d",
+                      delays[di]);
+        bench::csv("fig12", metric, avg[di]);
+    }
     return 0;
 }

@@ -8,6 +8,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <ostream>
+#include <vector>
+
+#include "bench_common.h"
 #include "harness/harness.h"
 #include "model/fast_encoder.h"
 #include "synth/generators.h"
@@ -81,6 +86,56 @@ BENCHMARK(BM_FullForward)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CachedForward)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_AutogradForward)->Unit(benchmark::kMillisecond);
 
+/** Console output plus a scrapeable `name,metric,value` CSV echo. */
+class CsvEchoReporter : public benchmark::ConsoleReporter
+{
+public:
+    // OO_Tabular without OO_Color: BENCHMARK_MAIN would have disabled
+    // color for non-TTY output; default-constructing keeps it on and
+    // leaks ANSI codes into redirected CI logs.
+    CsvEchoReporter() : ConsoleReporter(OO_Tabular) {}
+
+    void
+    ReportRuns(const std::vector<Run>& runs) override
+    {
+        ConsoleReporter::ReportRuns(runs);
+        // The table goes through buffered std::cout while csv() uses
+        // stdout directly; flush so the lines cannot interleave.
+        GetOutputStream().flush();
+        for (const auto& run : runs)
+            bench::csv("micro_attention",
+                       (run.benchmark_name() + "_ms").c_str(),
+                       run.GetAdjustedRealTime());
+    }
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    std::setvbuf(stdout, nullptr, _IOLBF, 0);
+    // Strip --quick (it switches the harness into smoke mode and caps
+    // the measurement time) before google-benchmark sees the arguments.
+    std::vector<char*> args;
+    bool quick = false;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+            harness::forceSmokeMode(true);
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    static char min_time[] = "--benchmark_min_time=0.05";
+    if (quick)
+        args.push_back(min_time);
+    int n = static_cast<int>(args.size());
+    benchmark::Initialize(&n, args.data());
+    if (benchmark::ReportUnrecognizedArguments(n, args.data()))
+        return 1;
+    CsvEchoReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    return 0;
+}

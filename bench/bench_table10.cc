@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "bench_common.h"
 #include "eval/metrics.h"
 #include "eval/table.h"
 #include "harness/harness.h"
@@ -20,8 +21,9 @@ using model::Metric;
 using model::ModelScale;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::parseArgs(argc, argv);
     std::printf("Table 10: cycles MAPE vs base model scale on Table-2 "
                 "workloads\n");
 
@@ -61,5 +63,8 @@ main()
     std::printf("\n[shape] MAPE by scale: %.1f%% / %.1f%% / %.1f%% "
                 "(paper: 22.9%% / 16.4%% / 15.3%%; larger is better)\n",
                 avgs[0] * 100, avgs[1] * 100, avgs[2] * 100);
+    bench::csv("table10", "mape_tiny", avgs[0]);
+    bench::csv("table10", "mape_small", avgs[1]);
+    bench::csv("table10", "mape_base", avgs[2]);
     return 0;
 }

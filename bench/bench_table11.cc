@@ -17,6 +17,7 @@
 
 #include <cstdio>
 
+#include "bench_common.h"
 #include "eval/metrics.h"
 #include "eval/table.h"
 #include "harness/harness.h"
@@ -25,8 +26,9 @@ using namespace llmulator;
 using model::Metric;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::parseArgs(argc, argv);
     std::printf("Table 11: dataflow application MAPE on PolyBench "
                 "(TPU-mapped, profile-calibrated)\n");
 
@@ -69,5 +71,8 @@ main()
                 "(paper: 13.6%% / 24.4%% / 20.4%%)\n",
                 eval::mean(e_ours) * 100, eval::mean(e_tenset) * 100,
                 eval::mean(e_tlp) * 100);
+    bench::csv("table11", "mape_ours", eval::mean(e_ours));
+    bench::csv("table11", "mape_tenset", eval::mean(e_tenset));
+    bench::csv("table11", "mape_tlp", eval::mean(e_tlp));
     return 0;
 }

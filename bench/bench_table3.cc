@@ -14,8 +14,10 @@
  * accelerator rows stay in the ~10% band without retraining.
  */
 
+#include <cctype>
 #include <cstdio>
 
+#include "bench_common.h"
 #include "eval/metrics.h"
 #include "eval/table.h"
 #include "harness/harness.h"
@@ -60,8 +62,9 @@ printMetricTable(const char* title, const char* abl_name,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::parseArgs(argc, argv);
     std::printf("Table 3: MAPE comparison with ablation of progressive "
                 "encoding and dynamic calibration\n");
 
@@ -109,6 +112,19 @@ main()
                          modern, e, poly.size());
         printMetricTable((title + " (Accelerators)").c_str(), "NoEnc",
                          accel, e, poly.size() + modern.size());
+        std::string mname = model::metricName(m);
+        for (char& ch : mname)
+            ch = static_cast<char>(std::tolower(ch));
+        bench::csv("table3", ("mape_ours_" + mname).c_str(),
+                   eval::mean(e.ours));
+        bench::csv("table3", ("mape_noenc_" + mname).c_str(),
+                   eval::mean(e.noenc));
+        bench::csv("table3", ("mape_tlp_" + mname).c_str(),
+                   eval::mean(e.tlp));
+        bench::csv("table3", ("mape_gnnhls_" + mname).c_str(),
+                   eval::mean(e.gnn));
+        bench::csv("table3", ("mape_tenset_" + mname).c_str(),
+                   eval::mean(e.tenset));
     }
 
     // Dynamic cycles: NoDPO = our static model without calibration;
@@ -135,6 +151,8 @@ main()
         std::printf("\n[shape] cycles MAPE: NoDPO %.1f%% -> Ours (DPO) "
                     "%.1f%% (paper: 28.9%% -> 16.4%% on modern)\n",
                     avg_nodpo * 100, avg_ours * 100);
+        bench::csv("table3", "mape_nodpo_cycles", avg_nodpo);
+        bench::csv("table3", "mape_ours_cycles", avg_ours);
     }
     return 0;
 }

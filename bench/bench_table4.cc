@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_common.h"
 #include "eval/table.h"
 #include "harness/harness.h"
 
@@ -35,8 +36,9 @@ timeIt(const std::function<void()>& fn, int reps = 3)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::parseArgs(argc, argv);
     std::printf("Table 4: prediction latency (seconds) on PolyBench\n");
 
     synth::Dataset ds = harness::defaultDataset(harness::defaultSynthConfig());
@@ -93,5 +95,11 @@ main()
     std::printf("\n[shape] Ours/GNNHLS latency ratio: %.1fx (paper: "
                 "~9x; LLM forward + beam decode dominates)\n",
                 avg(3) / std::max(1e-9, avg(0)));
+    bench::csv("table4", "latency_gnnhls_s", avg(0));
+    bench::csv("table4", "latency_tenset_s", avg(1));
+    bench::csv("table4", "latency_tlp_s", avg(2));
+    bench::csv("table4", "latency_ours_s", avg(3));
+    bench::csv("table4", "latency_ratio_ours_gnnhls",
+               avg(3) / std::max(1e-9, avg(0)));
     return 0;
 }

@@ -16,6 +16,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_common.h"
 #include "eval/table.h"
 #include "harness/harness.h"
 #include "model/fast_encoder.h"
@@ -24,8 +25,9 @@ using namespace llmulator;
 using Clock = std::chrono::steady_clock;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::parseArgs(argc, argv);
     std::printf("Table 5: cycle-prediction latency (seconds), no "
                 "acceleration vs dynamic prediction acceleration\n");
 
@@ -76,5 +78,9 @@ main()
     std::printf("\n[shape] acceleration speedup: %.2fx (paper: 1.23x "
                 "average, 1.23s -> 1.00s)\n",
                 sum_no / std::max(1e-12, sum_acc));
+    bench::csv("table5", "latency_noaccel_s", sum_no / modern.size());
+    bench::csv("table5", "latency_hasaccel_s", sum_acc / modern.size());
+    bench::csv("table5", "accel_speedup",
+               sum_no / std::max(1e-12, sum_acc));
     return 0;
 }

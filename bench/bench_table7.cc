@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "bench_common.h"
 #include "eval/metrics.h"
 #include "eval/table.h"
 #include "harness/harness.h"
@@ -20,8 +21,9 @@ using namespace llmulator;
 using model::Metric;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::parseArgs(argc, argv);
     std::printf("Table 7: progressive data synthesis ablation (No-A vs "
                 "All) on Table-2 workloads\n");
 
@@ -77,5 +79,7 @@ main()
     std::printf("\n[shape] overall MAPE: No-A %.1f%% -> All %.1f%% "
                 "(paper: 27.1%% -> 14.2%% class)\n", no_mean * 100,
                 all_mean * 100);
+    bench::csv("table7", "mape_noaug", no_mean);
+    bench::csv("table7", "mape_full", all_mean);
     return 0;
 }

@@ -13,6 +13,7 @@
 
 #include <cstdio>
 
+#include "bench_common.h"
 #include "eval/metrics.h"
 #include "eval/table.h"
 #include "harness/harness.h"
@@ -22,8 +23,9 @@ using namespace llmulator;
 using model::Metric;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::parseArgs(argc, argv);
     std::printf("Table 8: baseline MAPE difference with vs without the "
                 "data synthesizer (static-metric average; negative = "
                 "synthesizer helps)\n");
@@ -87,5 +89,8 @@ main()
     t.print();
     std::printf("\n[shape] negative averages mean the synthesizer also "
                 "helps the baselines (paper: -6.3/-7.2/-5.7 points)\n");
+    bench::csv("table8", "delta_tenset", s_ten / modern.size());
+    bench::csv("table8", "delta_tlp", s_tlp / modern.size());
+    bench::csv("table8", "delta_gnnhls", s_gnn / modern.size());
     return 0;
 }

@@ -18,6 +18,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_common.h"
 #include "dfir/builder.h"
 #include "dfir/printer.h"
 #include "eval/table.h"
@@ -73,8 +74,9 @@ makeSweepGraph(int dep_stmts, int static_stmts)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::parseArgs(argc, argv);
     std::printf("Table 9: data-dependency length vs prediction latency "
                 "with dynamic prediction acceleration\n");
 
@@ -130,5 +132,6 @@ main()
     std::printf("\n[shape] mean speedup %.2fx; acceleration stays "
                 "effective across dependency lengths (paper: stable gap, "
                 "up to 30.6%% reduction)\n", mean);
+    bench::csv("table9", "mean_accel_speedup", mean);
     return 0;
 }

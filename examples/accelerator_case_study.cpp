@@ -19,6 +19,7 @@ using namespace llmulator;
 int
 main()
 {
+    std::setvbuf(stdout, nullptr, _IOLBF, 0);
     std::printf("== loading pre-trained LLMulator model ==\n");
     synth::Dataset ds =
         harness::defaultDataset(harness::defaultSynthConfig());

@@ -64,6 +64,7 @@ struct Candidate
 int
 main()
 {
+    std::setvbuf(stdout, nullptr, _IOLBF, 0);
     std::printf("== loading LLMulator model ==\n");
     synth::Dataset ds =
         harness::defaultDataset(harness::defaultSynthConfig());
@@ -71,10 +72,16 @@ main()
                                          harness::defaultTrainConfig(),
                                          "main_ours");
 
+    // Smoke mode sweeps a 2x2x2 corner of the space instead of 3x2x3.
+    bool smoke = harness::smokeMode();
+    std::vector<int> unrolls = smoke ? std::vector<int>{1, 4}
+                                     : std::vector<int>{1, 2, 4};
+    std::vector<int> delays = smoke ? std::vector<int>{2, 10}
+                                    : std::vector<int>{2, 5, 10};
     std::vector<Candidate> cands;
-    for (int unroll : {1, 2, 4})
+    for (int unroll : unrolls)
         for (bool par : {false, true})
-            for (int delay : {2, 5, 10})
+            for (int delay : delays)
                 cands.push_back({unroll, par, delay, 0, 0, 0, 0});
 
     model::InferenceSession session(*model);

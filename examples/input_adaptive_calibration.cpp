@@ -43,6 +43,7 @@ main()
     graph.ops = {window};
     graph.calls = {{"sliding_window"}};
 
+    std::setvbuf(stdout, nullptr, _IOLBF, 0);
     std::printf("== loading static LLMulator model ==\n");
     synth::Dataset ds =
         harness::defaultDataset(harness::defaultSynthConfig());
@@ -58,8 +59,9 @@ main()
     calib::DpoCalibrator calibrator(*model, dcfg);
 
     util::Rng rng(7);
+    int iters = harness::smokeMode() ? 5 : 14;
     std::printf("\n iter    H    W    truth     pred    abs%%err\n");
-    for (int iter = 0; iter < 14; ++iter) {
+    for (int iter = 0; iter < iters; ++iter) {
         // Shift the input distribution over time (growing images).
         long scale = 12 + 2 * iter;
         RuntimeData data = synth::generateRuntimeData(graph, rng, scale);

@@ -51,6 +51,7 @@ const char* kDemoProgram =
 int
 main(int argc, char** argv)
 {
+    std::setvbuf(stdout, nullptr, _IOLBF, 0);
     bool predict = false;
     std::string path;
     for (int i = 1; i < argc; ++i) {

@@ -21,6 +21,12 @@ using namespace llmulator::dfir;
 int
 main()
 {
+    // Line-buffer stdout so progress survives redirection into CI logs.
+    std::setvbuf(stdout, nullptr, _IOLBF, 0);
+    if (harness::smokeMode())
+        std::printf("[smoke] LLMULATOR_SMOKE set: small corpus, 1 "
+                    "epoch\n");
+
     // 1. Describe a dataflow program: a GEMM operator with an unroll
     //    pragma on the inner loop, called from the top-level graph.
     Operator gemm;

@@ -1,6 +1,9 @@
 #include "harness/harness.h"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "calib/dpo.h"
 #include "dfir/analysis.h"
@@ -15,11 +18,33 @@
 namespace llmulator {
 namespace harness {
 
+namespace {
+
+/** -1 = follow the environment; 0/1 = forced by forceSmokeMode(). */
+int g_forced_smoke = -1;
+
+} // namespace
+
+bool
+smokeMode()
+{
+    if (g_forced_smoke >= 0)
+        return g_forced_smoke != 0;
+    const char* env = std::getenv("LLMULATOR_SMOKE");
+    return env != nullptr && std::strcmp(env, "0") != 0;
+}
+
+void
+forceSmokeMode(bool on)
+{
+    g_forced_smoke = on ? 1 : 0;
+}
+
 synth::SynthConfig
 defaultSynthConfig()
 {
     synth::SynthConfig cfg;
-    cfg.numPrograms = 110;
+    cfg.numPrograms = smokeMode() ? 8 : 110;
     cfg.seed = 2024;
     return cfg;
 }
@@ -44,7 +69,10 @@ noEncConfig()
 TrainConfig
 defaultTrainConfig()
 {
-    return TrainConfig{};
+    TrainConfig cfg;
+    if (smokeMode())
+        cfg.epochs = 1;
+    return cfg;
 }
 
 synth::Dataset
@@ -53,9 +81,13 @@ defaultDataset(const synth::SynthConfig& cfg)
     synth::Dataset ds = synth::synthesize(cfg);
     // Stage-3 realistic coverage: mutated members of the evaluation
     // workload families (never the canonical instances themselves).
-    addWorkloadFamilyData(ds, workloads::polybench(), 4, cfg.seed + 1);
-    addWorkloadFamilyData(ds, workloads::modern(), 2, cfg.seed + 2);
-    addWorkloadFamilyData(ds, workloads::accelerators(), 3, cfg.seed + 3);
+    bool smoke = smokeMode();
+    addWorkloadFamilyData(ds, workloads::polybench(), smoke ? 1 : 4,
+                          cfg.seed + 1);
+    addWorkloadFamilyData(ds, workloads::modern(), smoke ? 1 : 2,
+                          cfg.seed + 2);
+    addWorkloadFamilyData(ds, workloads::accelerators(), smoke ? 1 : 3,
+                          cfg.seed + 3);
     return ds;
 }
 
@@ -134,8 +166,16 @@ trainCostModel(const model::CostModelConfig& mcfg, const synth::Dataset& ds,
 {
     auto m = std::make_unique<model::CostModel>(mcfg);
     std::string key = cacheKey(tag, costModelCfgHash(mcfg), ds, tcfg);
-    if (eval::loadCached(key, m->parameters()))
+    if (eval::loadCached(key, m->parameters())) {
+        std::printf("[train] %s: loaded from cache\n", tag.c_str());
+        std::fflush(stdout);
         return m;
+    }
+
+    std::printf("[train] %s: %zu samples, %d epoch(s)%s\n", tag.c_str(),
+                ds.samples.size(), tcfg.epochs,
+                smokeMode() ? " (smoke)" : "");
+    std::fflush(stdout);
 
     // Pre-encode every sample once (tokenization dominates otherwise).
     struct Enc
@@ -175,6 +215,9 @@ trainCostModel(const model::CostModelConfig& mcfg, const synth::Dataset& ds,
             loss->backward();
             opt.step();
         }
+        std::printf("[train] %s: epoch %d/%d done\n", tag.c_str(),
+                    epoch + 1, tcfg.epochs);
+        std::fflush(stdout);
     }
     eval::storeCached(key, m->parameters());
     return m;

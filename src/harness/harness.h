@@ -31,6 +31,17 @@ struct TrainConfig
     uint64_t seed = 99;
 };
 
+/**
+ * Smoke mode shrinks the default dataset and training schedule so every
+ * example/bench finishes in seconds instead of minutes. Enabled by the
+ * LLMULATOR_SMOKE environment variable (any value except "0") or
+ * programmatically via forceSmokeMode() (the bench `--quick` flag).
+ */
+bool smokeMode();
+
+/** Override the LLMULATOR_SMOKE environment detection. */
+void forceSmokeMode(bool on);
+
 /** Default synthesizer config shared by the bench suite (cache-stable). */
 synth::SynthConfig defaultSynthConfig();
 

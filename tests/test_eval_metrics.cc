@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for the evaluation metrics (eval/metrics.*): MAPE building
+ * blocks, MSE and Pearson correlation, with the degenerate inputs the
+ * bench suite can feed them (empty vectors, zero ground truth, single
+ * elements, constant series).
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+
+namespace {
+
+using namespace llmulator;
+
+TEST(AbsPctError, ExactMatchIsZero)
+{
+    EXPECT_DOUBLE_EQ(eval::absPctError(100, 100), 0.0);
+    EXPECT_DOUBLE_EQ(eval::absPctError(-7, -7), 0.0);
+}
+
+TEST(AbsPctError, ZeroTruthConventions)
+{
+    // Both zero: defined as a perfect prediction.
+    EXPECT_DOUBLE_EQ(eval::absPctError(0, 0), 0.0);
+    // Zero truth, nonzero prediction: clamped to 100% error regardless
+    // of the prediction's magnitude (no division blow-up).
+    EXPECT_DOUBLE_EQ(eval::absPctError(1, 0), 1.0);
+    EXPECT_DOUBLE_EQ(eval::absPctError(1000000, 0), 1.0);
+    EXPECT_DOUBLE_EQ(eval::absPctError(-5, 0), 1.0);
+}
+
+TEST(AbsPctError, RelativeToTruthMagnitude)
+{
+    EXPECT_DOUBLE_EQ(eval::absPctError(150, 100), 0.5);
+    EXPECT_DOUBLE_EQ(eval::absPctError(50, 100), 0.5);
+    // Negative truth uses |truth| in the denominator.
+    EXPECT_DOUBLE_EQ(eval::absPctError(-50, -100), 0.5);
+    // Sign flips count fully: pred 100 vs truth -100 is 200% off.
+    EXPECT_DOUBLE_EQ(eval::absPctError(100, -100), 2.0);
+}
+
+TEST(Mean, EmptyInputIsZero)
+{
+    EXPECT_DOUBLE_EQ(eval::mean({}), 0.0);
+}
+
+TEST(Mean, SingleAndMultipleElements)
+{
+    EXPECT_DOUBLE_EQ(eval::mean({3.25}), 3.25);
+    EXPECT_DOUBLE_EQ(eval::mean({1.0, 2.0, 3.0, 4.0}), 2.5);
+    EXPECT_DOUBLE_EQ(eval::mean({-1.0, 1.0}), 0.0);
+}
+
+TEST(Mse, EmptyInputIsZero)
+{
+    EXPECT_DOUBLE_EQ(eval::mse({}, {}), 0.0);
+}
+
+TEST(Mse, SingleElement)
+{
+    EXPECT_DOUBLE_EQ(eval::mse({3}, {7}), 16.0);
+    EXPECT_DOUBLE_EQ(eval::mse({5}, {5}), 0.0);
+}
+
+TEST(Mse, AveragesSquaredErrors)
+{
+    // Errors 1 and 3 -> (1 + 9) / 2.
+    EXPECT_DOUBLE_EQ(eval::mse({1, 3}, {2, 6}), 5.0);
+}
+
+TEST(Mse, SizeMismatchPanics)
+{
+    EXPECT_DEATH(eval::mse({1, 2}, {1}), "mse size mismatch");
+}
+
+TEST(Pearson, DegenerateInputsReturnZero)
+{
+    // Fewer than two points: undefined, reported as 0.
+    EXPECT_DOUBLE_EQ(eval::pearson({}, {}), 0.0);
+    EXPECT_DOUBLE_EQ(eval::pearson({1.0}, {2.0}), 0.0);
+    // A constant series has zero variance: undefined, reported as 0.
+    EXPECT_DOUBLE_EQ(eval::pearson({5.0, 5.0, 5.0}, {1.0, 2.0, 3.0}),
+                     0.0);
+}
+
+TEST(Pearson, PerfectCorrelation)
+{
+    std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+    std::vector<double> up = {10.0, 20.0, 30.0, 40.0};
+    std::vector<double> down = {8.0, 6.0, 4.0, 2.0};
+    EXPECT_NEAR(eval::pearson(a, up), 1.0, 1e-12);
+    EXPECT_NEAR(eval::pearson(a, down), -1.0, 1e-12);
+}
+
+TEST(Pearson, UncorrelatedSeries)
+{
+    // Symmetric V shape: the linear correlation cancels exactly.
+    std::vector<double> a = {-2.0, -1.0, 0.0, 1.0, 2.0};
+    std::vector<double> b = {4.0, 1.0, 0.0, 1.0, 4.0};
+    EXPECT_NEAR(eval::pearson(a, b), 0.0, 1e-12);
+}
+
+TEST(Pearson, SizeMismatchPanics)
+{
+    EXPECT_DEATH(eval::pearson({1.0, 2.0}, {1.0}),
+                 "pearson size mismatch");
+}
+
+} // namespace
