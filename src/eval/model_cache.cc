@@ -1,9 +1,13 @@
 #include "eval/model_cache.h"
 
+#include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include "nn/serialize.h"
+#include "util/string_util.h"
 
 namespace llmulator {
 namespace eval {
@@ -32,7 +36,23 @@ loadCached(const std::string& key, const std::vector<nn::TensorPtr>& params)
 void
 storeCached(const std::string& key, const std::vector<nn::TensorPtr>& params)
 {
-    nn::saveParameters(cachePath(key), params);
+    // Write-then-rename so concurrent readers (bench processes, serving
+    // runtimes) never observe a torn parameter file: rename(2) within a
+    // directory is atomic, and loadParameters on the old/missing file
+    // simply reports a miss. The temp name carries pid + a process-wide
+    // counter so parallel writers of the same key — other processes or
+    // other threads — cannot clobber each other's staging file.
+    static std::atomic<unsigned long> seq{0};
+    std::string path = cachePath(key);
+    std::string tmp = path + util::format(".tmp.%ld.%lu",
+                                          static_cast<long>(::getpid()),
+                                          seq.fetch_add(1));
+    if (!nn::saveParameters(tmp, params)) {
+        std::remove(tmp.c_str());
+        return; // best effort, like the previous direct write
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        std::remove(tmp.c_str());
 }
 
 } // namespace eval

@@ -28,7 +28,12 @@ std::string cachePath(const std::string& key);
 bool loadCached(const std::string& key,
                 const std::vector<nn::TensorPtr>& params);
 
-/** Store parameters under key (best effort). */
+/**
+ * Store parameters under key (best effort). The write is atomic
+ * (temp file + rename) so concurrent readers — parallel bench
+ * processes or a serving runtime loading weights — never observe a
+ * torn file.
+ */
 void storeCached(const std::string& key,
                  const std::vector<nn::TensorPtr>& params);
 

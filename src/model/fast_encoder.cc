@@ -266,9 +266,8 @@ InferenceSession::forwardPooled(const EncodedProgram& ep, const Layout& lay,
     return pooled;
 }
 
-NumericPrediction
-InferenceSession::predict(const EncodedProgram& ep, Metric m, bool use_cache,
-                          int beam_width)
+nn::TensorPtr
+InferenceSession::pooled(const EncodedProgram& ep, bool use_cache)
 {
     Layout lay = computeLayout(ep);
     bool partial = use_cache && cacheValid_ && cacheKey_ == lay.staticKey &&
@@ -283,11 +282,15 @@ InferenceSession::predict(const EncodedProgram& ep, Metric m, bool use_cache,
         cacheLen_ = lay.n;
         cacheReusable_ = lay.reusable;
     }
+    int dim = static_cast<int>(pooled.size());
+    return nn::Tensor::fromData(1, dim, std::move(pooled));
+}
 
-    auto pooled_t = nn::Tensor::fromData(
-        1, static_cast<int>(pooled.size()),
-        std::vector<float>(pooled.begin(), pooled.end()));
-    return model_.head(m).decode(pooled_t, beam_width);
+NumericPrediction
+InferenceSession::predict(const EncodedProgram& ep, Metric m, bool use_cache,
+                          int beam_width)
+{
+    return model_.head(m).decode(pooled(ep, use_cache), beam_width);
 }
 
 } // namespace model

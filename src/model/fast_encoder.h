@@ -52,6 +52,15 @@ class InferenceSession
     NumericPrediction predict(const EncodedProgram& ep, Metric m,
                               bool use_cache, int beam_width = 3);
 
+    /**
+     * Pooled encoder output as a [1, dim] tensor, ready for
+     * DigitHead::decode. This is the forward half of predict(),
+     * exposed so callers querying several metrics for one encoding —
+     * the batched prediction server — can share a single forward
+     * across the per-metric decodes.
+     */
+    nn::TensorPtr pooled(const EncodedProgram& ep, bool use_cache);
+
     /** Drop the cached prefix (e.g. after a weight update). */
     void invalidate() { cacheValid_ = false; }
 

@@ -1,0 +1,113 @@
+#ifndef LLMULATOR_SERVE_REQUEST_QUEUE_H
+#define LLMULATOR_SERVE_REQUEST_QUEUE_H
+
+/**
+ * @file
+ * Bounded multi-producer/multi-consumer queue used by the prediction
+ * server. Producers block while the queue is full (backpressure toward
+ * the clients); consumers pop *batches*: the first element blocks, then
+ * up to `max_batch - 1` more are collected until `timeout` elapses or the
+ * queue drains. close() stops new pushes immediately but lets consumers
+ * drain everything already queued, which is what gives the server its
+ * clean-shutdown guarantee (every accepted request is answered).
+ */
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace llmulator {
+namespace serve {
+
+template <typename T> class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+    /**
+     * Block until there is room. Returns false once closed, leaving
+     * `item` unmoved so the caller can still fail it gracefully.
+     */
+    bool push(T&& item)
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        notFull_.wait(lk,
+                      [&] { return closed_ || items_.size() < capacity_; });
+        if (closed_)
+            return false;
+        items_.push_back(std::move(item));
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Pop a batch into `out` (cleared first). Blocks for the first
+     * element; afterwards keeps collecting until `out` holds `max_batch`
+     * items, `timeout` has elapsed, or the queue is empty with no timeout
+     * budget left. Returns false only when the queue is closed and fully
+     * drained — the consumer-loop exit condition.
+     */
+    bool popBatch(std::vector<T>& out, size_t max_batch,
+                  std::chrono::microseconds timeout)
+    {
+        out.clear();
+        std::unique_lock<std::mutex> lk(mu_);
+        notEmpty_.wait(lk, [&] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return false; // closed and drained
+        auto deadline = std::chrono::steady_clock::now() + timeout;
+        for (;;) {
+            while (!items_.empty() && out.size() < max_batch) {
+                out.push_back(std::move(items_.front()));
+                items_.pop_front();
+                notFull_.notify_one();
+            }
+            if (out.size() >= max_batch || closed_)
+                break;
+            // Queue drained but the batch has room: wait out the budget
+            // for stragglers, then dispatch whatever we have.
+            if (!notEmpty_.wait_until(lk, deadline, [&] {
+                    return closed_ || !items_.empty();
+                }))
+                break;
+        }
+        return true;
+    }
+
+    /** Stop accepting pushes; queued items remain poppable. */
+    void close()
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        closed_ = true;
+        notEmpty_.notify_all();
+        notFull_.notify_all();
+    }
+
+    /** Current number of queued items. */
+    size_t depth() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return items_.size();
+    }
+
+    bool closed() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return closed_;
+    }
+
+  private:
+    size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable notEmpty_;
+    std::condition_variable notFull_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace serve
+} // namespace llmulator
+
+#endif // LLMULATOR_SERVE_REQUEST_QUEUE_H

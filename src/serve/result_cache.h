@@ -1,0 +1,99 @@
+#ifndef LLMULATOR_SERVE_RESULT_CACHE_H
+#define LLMULATOR_SERVE_RESULT_CACHE_H
+
+/**
+ * @file
+ * Sharded LRU cache of finished predictions, keyed by (program DFIR
+ * hash, runtime-input hash, metric). Sharding by key hash keeps lock
+ * contention bounded when many workers and client threads hit the cache
+ * concurrently; each shard holds an independent LRU list. A capacity of
+ * zero disables caching entirely (used by throughput benchmarks that
+ * want to measure raw model throughput).
+ */
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "model/cost_model.h"
+#include "model/numeric_head.h"
+
+namespace llmulator {
+namespace serve {
+
+/** Cache identity of one prediction request. */
+struct ResultKey
+{
+    uint64_t program = 0; //!< dfir::structuralHash of the graph
+    uint64_t input = 0;   //!< hashRuntimeData (0 when static)
+    int metric = 0;       //!< static_cast<int>(model::Metric)
+
+    bool operator==(const ResultKey& o) const
+    {
+        return program == o.program && input == o.input &&
+               metric == o.metric;
+    }
+};
+
+/** Stable 64-bit hash of runtime data (scalars + tensor payloads). */
+uint64_t hashRuntimeData(const dfir::RuntimeData& data);
+
+/** Mix a ResultKey down to one 64-bit hash (shard + bucket selector). */
+uint64_t hashResultKey(const ResultKey& k);
+
+/** Hasher so ResultKey can key the per-shard unordered_map directly. */
+struct ResultKeyHash
+{
+    size_t operator()(const ResultKey& k) const
+    {
+        return static_cast<size_t>(hashResultKey(k));
+    }
+};
+
+/** Sharded LRU map: ResultKey -> NumericPrediction. */
+class ResultCache
+{
+  public:
+    /**
+     * `capacity` is the total entry budget split evenly across
+     * `shards` (each shard gets at least one entry). capacity == 0
+     * disables the cache: get() always misses, put() is a no-op, and
+     * neither counts toward hit-rate statistics.
+     */
+    ResultCache(size_t capacity, size_t shards);
+
+    /** Look up a key; fills `out` and refreshes LRU order on hit. */
+    bool get(const ResultKey& key, model::NumericPrediction& out);
+
+    /** Insert (or refresh) a key, evicting the shard's LRU tail. */
+    void put(const ResultKey& key, const model::NumericPrediction& value);
+
+    bool enabled() const { return perShard_ > 0; }
+
+    /** Total cached entries across shards (approximate under load). */
+    size_t size() const;
+
+  private:
+    struct Shard
+    {
+        std::mutex mu;
+        //! Most-recently-used entries sit at the front.
+        std::list<std::pair<ResultKey, model::NumericPrediction>> lru;
+        std::unordered_map<ResultKey, decltype(lru)::iterator,
+                           ResultKeyHash>
+            index;
+    };
+
+    Shard& shardFor(const ResultKey& key);
+
+    size_t perShard_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+} // namespace serve
+} // namespace llmulator
+
+#endif // LLMULATOR_SERVE_RESULT_CACHE_H

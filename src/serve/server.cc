@@ -1,0 +1,276 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dfir/ir.h"
+
+namespace llmulator {
+namespace serve {
+
+namespace {
+
+/** Percentile-window size: large enough for stable p95, small enough
+ *  that snapshotting under the lock stays cheap. */
+constexpr size_t kLatencyWindow = 4096;
+
+double
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+namespace {
+
+/** Clamp degenerate knobs so config() reports the effective values. */
+ServeConfig
+normalized(ServeConfig cfg)
+{
+    cfg.workers = std::max(1, cfg.workers);
+    cfg.batchMax = std::max(1, cfg.batchMax);
+    cfg.queueCapacity = std::max<size_t>(1, cfg.queueCapacity);
+    cfg.cacheShards = std::max<size_t>(1, cfg.cacheShards);
+    return cfg;
+}
+
+} // namespace
+
+PredictionServer::PredictionServer(std::unique_ptr<model::CostModel> model,
+                                   const ServeConfig& cfg)
+    : cfg_(normalized(cfg)),
+      model_(std::move(model)),
+      cache_(cfg_.cacheCapacity, cfg_.cacheShards),
+      queue_(cfg_.queueCapacity),
+      startTime_(std::chrono::steady_clock::now())
+{
+    latencyWindowMs_.reserve(kLatencyWindow);
+    workers_.reserve(cfg_.workers);
+    for (int i = 0; i < cfg_.workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+PredictionServer::~PredictionServer()
+{
+    stop();
+}
+
+std::future<model::NumericPrediction>
+PredictionServer::submitAsync(const dfir::DataflowGraph& g,
+                              const dfir::RuntimeData* data,
+                              model::Metric metric)
+{
+    Request req;
+    req.key.program = dfir::structuralHash(g);
+    req.key.input = data ? hashRuntimeData(*data) : 0;
+    req.key.metric = static_cast<int>(metric);
+    req.metric = metric;
+    req.submitTime = std::chrono::steady_clock::now();
+    auto future = req.promise.get_future();
+
+    if (stopped_.load(std::memory_order_acquire)) {
+        req.promise.set_exception(std::make_exception_ptr(
+            std::runtime_error("PredictionServer is stopped")));
+        return future;
+    }
+
+    // Fast path: answer repeats without queueing or touching the model.
+    model::NumericPrediction cached;
+    if (cache_.get(req.key, cached)) {
+        submitted_.fetch_add(1, std::memory_order_relaxed);
+        cacheHits_.fetch_add(1, std::memory_order_relaxed);
+        fulfil(req, cached);
+        return future;
+    }
+
+    req.graph = g;
+    if (data) {
+        req.data = *data;
+        req.hasData = true;
+    }
+    if (queue_.push(std::move(req))) {
+        // Counted only once accepted, so submitted == completed holds
+        // after a drain even when a submit races stop().
+        submitted_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        // Lost the race with stop(): the request was never accepted.
+        req.promise.set_exception(std::make_exception_ptr(
+            std::runtime_error("PredictionServer is stopped")));
+    }
+    return future;
+}
+
+model::NumericPrediction
+PredictionServer::predict(const dfir::DataflowGraph& g,
+                          const dfir::RuntimeData* data, model::Metric metric)
+{
+    return submitAsync(g, data, metric).get();
+}
+
+void
+PredictionServer::workerLoop()
+{
+    // One autograd-free inference session per worker: sessions carry
+    // mutable state (stats, prefix cache) and so are thread-confined,
+    // while the underlying model is shared read-only.
+    model::InferenceSession session(*model_);
+    std::vector<Request> batch;
+    while (queue_.popBatch(batch, static_cast<size_t>(cfg_.batchMax),
+                           std::chrono::microseconds(cfg_.batchTimeoutUs))) {
+        batches_.fetch_add(1, std::memory_order_relaxed);
+        dispatched_.fetch_add(batch.size(), std::memory_order_relaxed);
+        processBatch(batch, session);
+    }
+}
+
+void
+PredictionServer::processBatch(std::vector<Request>& batch,
+                               model::InferenceSession& session)
+{
+    // Group cache misses by (program, input): those requests share one
+    // tokenization + encoder forward, the dominant per-request cost.
+    // Requests for the same key additionally share the head decode.
+    struct Group
+    {
+        uint64_t program;
+        uint64_t input;
+        std::vector<Request*> members;
+    };
+    std::vector<Group> groups;
+
+    model::NumericPrediction cached;
+    for (Request& req : batch) {
+        // A sibling batch may have finished this key since submission.
+        if (cache_.get(req.key, cached)) {
+            cacheHits_.fetch_add(1, std::memory_order_relaxed);
+            fulfil(req, cached);
+            continue;
+        }
+        if (cache_.enabled())
+            cacheMisses_.fetch_add(1, std::memory_order_relaxed);
+        auto it = std::find_if(groups.begin(), groups.end(), [&](Group& g) {
+            return g.program == req.key.program && g.input == req.key.input;
+        });
+        if (it == groups.end()) {
+            groups.push_back({req.key.program, req.key.input, {}});
+            it = groups.end() - 1;
+        }
+        it->members.push_back(&req);
+    }
+
+    for (Group& group : groups) {
+        // One autograd-free encoder forward shared across the group —
+        // bit-identical to running InferenceSession::predict() per
+        // request sequentially, since predict() is exactly this pooled
+        // forward + head decode and both are deterministic for equal
+        // inputs. The prefix-reuse cache stays off: its documented
+        // Class-I approximation would make results depend on request
+        // order, breaking the batched == sequential guarantee.
+        Request& first = *group.members.front();
+        auto ep = model_->encode(first.graph,
+                                 first.hasData ? &first.data : nullptr);
+        nn::TensorPtr pooled = session.pooled(ep, /*use_cache=*/false);
+
+        // One decode per distinct key; duplicate requests in the same
+        // batch reuse the freshly computed prediction.
+        std::vector<std::pair<ResultKey, model::NumericPrediction>> done;
+        for (Request* rp : group.members) {
+            auto dit = std::find_if(
+                done.begin(), done.end(),
+                [&](const auto& kv) { return kv.first == rp->key; });
+            if (dit != done.end()) {
+                fulfil(*rp, dit->second);
+                continue;
+            }
+            model::NumericPrediction pred =
+                model_->head(rp->metric).decode(pooled, cfg_.beamWidth);
+            modelCalls_.fetch_add(1, std::memory_order_relaxed);
+            cache_.put(rp->key, pred);
+            fulfil(*rp, pred);
+            done.emplace_back(rp->key, pred);
+        }
+    }
+}
+
+void
+PredictionServer::fulfil(Request& req, const model::NumericPrediction& pred)
+{
+    recordLatencyMs(msSince(req.submitTime));
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    req.promise.set_value(pred);
+}
+
+void
+PredictionServer::recordLatencyMs(double ms)
+{
+    std::lock_guard<std::mutex> lk(latencyMu_);
+    if (latencyWindowMs_.size() < kLatencyWindow) {
+        latencyWindowMs_.push_back(ms);
+    } else {
+        latencyWindowMs_[latencyNext_] = ms;
+        latencyNext_ = (latencyNext_ + 1) % kLatencyWindow;
+    }
+}
+
+void
+PredictionServer::stop()
+{
+    if (stopped_.exchange(true, std::memory_order_acq_rel))
+        return;
+    queue_.close(); // workers drain the backlog, then exit
+    for (std::thread& w : workers_)
+        if (w.joinable())
+            w.join();
+}
+
+namespace {
+
+/** Interpolation-free percentile of an unsorted sample copy. */
+double
+percentile(std::vector<double> xs, double p)
+{
+    if (xs.empty())
+        return 0.0;
+    size_t idx = static_cast<size_t>(p * double(xs.size() - 1) + 0.5);
+    idx = std::min(idx, xs.size() - 1);
+    std::nth_element(xs.begin(), xs.begin() + idx, xs.end());
+    return xs[idx];
+}
+
+} // namespace
+
+ServerStats
+PredictionServer::stats() const
+{
+    ServerStats s;
+    s.submitted = submitted_.load(std::memory_order_relaxed);
+    s.completed = completed_.load(std::memory_order_relaxed);
+    s.cacheHits = cacheHits_.load(std::memory_order_relaxed);
+    s.cacheMisses = cacheMisses_.load(std::memory_order_relaxed);
+    s.batches = batches_.load(std::memory_order_relaxed);
+    s.modelCalls = modelCalls_.load(std::memory_order_relaxed);
+    uint64_t dispatched = dispatched_.load(std::memory_order_relaxed);
+    s.meanBatch =
+        s.batches == 0 ? 0.0 : double(dispatched) / double(s.batches);
+    s.queueDepth = queue_.depth();
+
+    std::vector<double> window;
+    {
+        std::lock_guard<std::mutex> lk(latencyMu_);
+        window = latencyWindowMs_;
+    }
+    s.p50LatencyMs = percentile(window, 0.50);
+    s.p95LatencyMs = percentile(std::move(window), 0.95);
+
+    double elapsed = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - startTime_)
+                         .count();
+    s.throughputRps = elapsed <= 0 ? 0.0 : double(s.completed) / elapsed;
+    return s;
+}
+
+} // namespace serve
+} // namespace llmulator

@@ -1,0 +1,174 @@
+#ifndef LLMULATOR_SERVE_SERVER_H
+#define LLMULATOR_SERVE_SERVER_H
+
+/**
+ * @file
+ * Concurrent batched prediction-serving runtime (the ROADMAP "serve
+ * heavy traffic" direction).
+ *
+ * A PredictionServer owns one trained CostModel and a pool of worker
+ * threads behind a bounded MPMC request queue. Workers pop micro-batches
+ * (up to `batchMax` requests, or whatever arrives within `batchTimeout`)
+ * and group a batch's cache misses by (program hash, input hash) so one
+ * encoder forward — by far the dominant cost — is shared by every metric
+ * requested for the same (program, input). Each worker runs the
+ * autograd-free InferenceSession full forward (paper Section 5.3's fast
+ * path without its prefix-reuse approximation), so no training tape is
+ * built on the serving path. Results are identical bit for bit to
+ * running that same sequential fast path per request — grouping only
+ * deduplicates work, it never changes the computation — and agree with
+ * CostModel::predict() up to its documented fast/slow-path tolerance.
+ *
+ * Finished predictions land in a sharded LRU ResultCache keyed by
+ * (program DFIR hash, runtime-input hash, metric); repeated queries are
+ * answered without touching the model. Clients use the blocking
+ * predict() or the future-based submitAsync(); stats() returns a
+ * ServerStats snapshot (throughput, p50/p95 latency, hit rate, queue
+ * depth). stop() — also run by the destructor — closes the intake and
+ * drains the queue, so every accepted request is answered before the
+ * workers exit.
+ *
+ * Weights come from the same eval/model_cache registry the bench suite
+ * trains into: build the model with harness::trainCostModel (or any
+ * loader that fills CostModel::parameters() via eval::loadCached) and
+ * hand it to the server, so serving shares training artifacts instead
+ * of retraining.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "model/cost_model.h"
+#include "model/fast_encoder.h"
+#include "serve/request_queue.h"
+#include "serve/result_cache.h"
+
+namespace llmulator {
+namespace serve {
+
+/** Server tuning knobs. */
+struct ServeConfig
+{
+    int workers = 4;        //!< worker thread count
+    int batchMax = 8;       //!< micro-batch size cap
+    int batchTimeoutUs = 200; //!< wait for stragglers (microseconds)
+    size_t queueCapacity = 256; //!< bounded queue (backpressure)
+    size_t cacheCapacity = 4096; //!< result-cache entries; 0 disables
+    size_t cacheShards = 8;  //!< result-cache shard count
+    int beamWidth = 3;       //!< numeric-head beam width
+};
+
+/** Point-in-time server statistics snapshot. */
+struct ServerStats
+{
+    uint64_t submitted = 0;  //!< requests accepted
+    uint64_t completed = 0;  //!< futures fulfilled
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+    uint64_t batches = 0;    //!< micro-batches dispatched
+    uint64_t modelCalls = 0; //!< head decodes actually run
+    //! Queue-dispatched requests per batch (submit-path cache hits
+    //! never enter a batch, so they are excluded).
+    double meanBatch = 0;
+    double p50LatencyMs = 0; //!< submit -> fulfil, recent window
+    double p95LatencyMs = 0;
+    double throughputRps = 0; //!< completed / wall time since start
+    size_t queueDepth = 0;
+
+    /** cacheHits / (cacheHits + cacheMisses), 0 when no lookups. */
+    double hitRate() const
+    {
+        uint64_t total = cacheHits + cacheMisses;
+        return total == 0 ? 0.0 : double(cacheHits) / double(total);
+    }
+};
+
+/** Batched, cached, multi-threaded front end over one CostModel. */
+class PredictionServer
+{
+  public:
+    /** Takes ownership of a constructed (usually trained) model. */
+    PredictionServer(std::unique_ptr<model::CostModel> model,
+                     const ServeConfig& cfg = {});
+    ~PredictionServer();
+
+    PredictionServer(const PredictionServer&) = delete;
+    PredictionServer& operator=(const PredictionServer&) = delete;
+
+    /**
+     * Enqueue one prediction. The graph and data are copied into the
+     * request, so the caller may free them immediately. `data` may be
+     * nullptr for static metrics. The future carries the prediction, or
+     * an exception if the server was stopped before accepting it.
+     */
+    std::future<model::NumericPrediction>
+    submitAsync(const dfir::DataflowGraph& g, const dfir::RuntimeData* data,
+                model::Metric metric);
+
+    /** Blocking convenience wrapper around submitAsync(). */
+    model::NumericPrediction predict(const dfir::DataflowGraph& g,
+                                     const dfir::RuntimeData* data,
+                                     model::Metric metric);
+
+    /**
+     * Stop intake, answer everything already queued, join the workers.
+     * Idempotent; runs automatically on destruction.
+     */
+    void stop();
+
+    /** Point-in-time statistics. */
+    ServerStats stats() const;
+
+    const model::CostModel& model() const { return *model_; }
+    const ServeConfig& config() const { return cfg_; }
+
+  private:
+    struct Request
+    {
+        dfir::DataflowGraph graph;
+        dfir::RuntimeData data;
+        bool hasData = false;
+        model::Metric metric = model::Metric::Power;
+        ResultKey key;
+        std::promise<model::NumericPrediction> promise;
+        std::chrono::steady_clock::time_point submitTime;
+    };
+
+    void workerLoop();
+    void processBatch(std::vector<Request>& batch,
+                      model::InferenceSession& session);
+    void fulfil(Request& req, const model::NumericPrediction& pred);
+    void recordLatencyMs(double ms);
+
+    ServeConfig cfg_;
+    std::unique_ptr<model::CostModel> model_;
+    ResultCache cache_;
+    BoundedQueue<Request> queue_;
+    std::vector<std::thread> workers_;
+    std::chrono::steady_clock::time_point startTime_;
+
+    std::atomic<uint64_t> submitted_{0};
+    std::atomic<uint64_t> completed_{0};
+    std::atomic<uint64_t> cacheHits_{0};
+    std::atomic<uint64_t> cacheMisses_{0};
+    std::atomic<uint64_t> batches_{0};
+    std::atomic<uint64_t> dispatched_{0};
+    std::atomic<uint64_t> modelCalls_{0};
+    std::atomic<bool> stopped_{false};
+
+    //! Sliding window of recent request latencies for the percentiles.
+    mutable std::mutex latencyMu_;
+    std::vector<double> latencyWindowMs_;
+    size_t latencyNext_ = 0;
+};
+
+} // namespace serve
+} // namespace llmulator
+
+#endif // LLMULATOR_SERVE_SERVER_H

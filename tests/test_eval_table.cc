@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Direct coverage of src/eval/table.cc (previously only exercised
+ * indirectly through test_harness): the exact rendered layout of the
+ * column-aligned tables every bench binary prints, plus the pct()/secs()
+ * numeric formatters. These are format-pinning tests: a change to the
+ * rendered bytes is a deliberate, reviewed event, not an accident.
+ */
+
+#include <gtest/gtest.h>
+
+#include "eval/table.h"
+
+using namespace llmulator;
+
+TEST(Table, RendersAlignedColumnsWithHeaderRule)
+{
+    eval::Table t({"name", "err", "time"});
+    t.addRow({"adi", "12.3%", "1.04"});
+    t.addRow({"covariance", "7.0%", "0.22"});
+
+    EXPECT_EQ(t.str(), "name        err    time\n"
+                       "----------  -----  ----\n"
+                       "adi         12.3%  1.04\n"
+                       "covariance  7.0%   0.22\n");
+}
+
+TEST(Table, ColumnWidthFollowsWidestCellIncludingHeader)
+{
+    eval::Table t({"wide-header", "x"});
+    t.addRow({"v", "longer-cell"});
+    EXPECT_EQ(t.str(), "wide-header  x          \n"
+                       "-----------  -----------\n"
+                       "v            longer-cell\n");
+}
+
+TEST(Table, ShortRowsArePaddedWithEmptyCells)
+{
+    eval::Table t({"a", "b", "c"});
+    t.addRow({"1"});
+    EXPECT_EQ(t.str(), "a  b  c\n"
+                       "-  -  -\n"
+                       "1      \n");
+}
+
+TEST(Table, HeaderOnlyTableRendersJustHeaderAndRule)
+{
+    eval::Table t({"col"});
+    EXPECT_EQ(t.str(), "col\n---\n");
+}
+
+TEST(Formatters, PctRendersTenthOfAPercent)
+{
+    EXPECT_EQ(eval::pct(0.123), "12.3%");
+    EXPECT_EQ(eval::pct(0.0), "0.0%");
+    EXPECT_EQ(eval::pct(1.0), "100.0%");
+    EXPECT_EQ(eval::pct(2.345), "234.5%"); // >100% errors stay readable
+}
+
+TEST(Formatters, SecsRendersMilliseconds)
+{
+    EXPECT_EQ(eval::secs(1.0404), "1.040");
+    EXPECT_EQ(eval::secs(0.0), "0.000");
+    EXPECT_EQ(eval::secs(12.3456789), "12.346"); // rounds, not truncates
+}

@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Prediction-serving runtime tests: the bounded batching queue, the
+ * sharded LRU result cache, and the PredictionServer end to end —
+ * batched results bit-identical to sequential CostModel::predict(),
+ * cache-hit accounting, sustained concurrent submission from many
+ * client threads, and clean shutdown with requests still in flight.
+ *
+ * All suites run an *untrained* Tiny model: weight initialization is
+ * seeded, so predictions are deterministic, which is all the serving
+ * layer contracts depend on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+
+#include "dfir/builder.h"
+#include "model/fast_encoder.h"
+#include "serve/request_queue.h"
+#include "serve/result_cache.h"
+#include "serve/server.h"
+
+using namespace llmulator;
+using namespace llmulator::dfir;
+
+namespace {
+
+/** A tiny vector-scale kernel parameterized by name/size knobs. */
+DataflowGraph
+makeGraph(const std::string& name, long bias)
+{
+    Operator op;
+    op.name = "scale";
+    op.scalarParams = {"N"};
+    op.tensors = {tensor("X", {p("N")}), tensor("Y", {p("N")})};
+    op.body = {forLoop("i", c(0), p("N"),
+                       {assign("Y", {v("i")},
+                               badd(a("X", {v("i")}), c(bias)))})};
+    DataflowGraph g;
+    g.name = name;
+    g.ops = {op};
+    g.calls = {{"scale"}};
+    return g;
+}
+
+RuntimeData
+makeData(long n)
+{
+    RuntimeData d;
+    d.scalars["N"] = n;
+    return d;
+}
+
+model::CostModelConfig
+tinyConfig()
+{
+    auto cfg = model::configForScale(model::ModelScale::Tiny);
+    cfg.enc.maxSeq = 128;
+    return cfg;
+}
+
+/** Fresh deterministic model (seeded init, no training needed). */
+std::unique_ptr<model::CostModel>
+tinyModel()
+{
+    return std::make_unique<model::CostModel>(tinyConfig());
+}
+
+void
+expectSamePrediction(const model::NumericPrediction& a,
+                     const model::NumericPrediction& b)
+{
+    EXPECT_EQ(a.value, b.value);
+    EXPECT_EQ(a.digits, b.digits);
+    ASSERT_EQ(a.digitProbs.size(), b.digitProbs.size());
+    for (size_t i = 0; i < a.digitProbs.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.digitProbs[i], b.digitProbs[i]);
+    EXPECT_DOUBLE_EQ(a.logProb, b.logProb);
+}
+
+} // namespace
+
+TEST(BoundedQueue, BatchRespectsCapAndDrainsOnClose)
+{
+    serve::BoundedQueue<int> q(16);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(q.push(int(i)));
+    EXPECT_EQ(q.depth(), 10u);
+
+    std::vector<int> batch;
+    ASSERT_TRUE(q.popBatch(batch, 4, std::chrono::microseconds(0)));
+    EXPECT_EQ(batch, (std::vector<int>{0, 1, 2, 3}));
+
+    q.close();
+    EXPECT_FALSE(q.push(99)); // rejected after close...
+    ASSERT_TRUE(q.popBatch(batch, 100, std::chrono::microseconds(0)));
+    EXPECT_EQ(batch.size(), 6u); // ...but the backlog still drains
+    EXPECT_FALSE(q.popBatch(batch, 4, std::chrono::microseconds(0)));
+}
+
+TEST(BoundedQueue, PopBlocksUntilPush)
+{
+    serve::BoundedQueue<int> q(4);
+    std::thread producer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        q.push(7);
+    });
+    std::vector<int> batch;
+    ASSERT_TRUE(q.popBatch(batch, 4, std::chrono::microseconds(100)));
+    EXPECT_EQ(batch, std::vector<int>{7});
+    producer.join();
+}
+
+TEST(ResultCache, LruEvictsWithinShardAndRefreshesOnGet)
+{
+    serve::ResultCache cache(/*capacity=*/2, /*shards=*/1);
+    model::NumericPrediction p1, p2, p3, out;
+    p1.value = 1;
+    p2.value = 2;
+    p3.value = 3;
+    serve::ResultKey k1{10, 0, 0}, k2{20, 0, 0}, k3{30, 0, 0};
+
+    cache.put(k1, p1);
+    cache.put(k2, p2);
+    ASSERT_TRUE(cache.get(k1, out)); // refresh k1: k2 becomes LRU
+    cache.put(k3, p3);               // evicts k2
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_TRUE(cache.get(k1, out));
+    EXPECT_EQ(out.value, 1);
+    EXPECT_FALSE(cache.get(k2, out));
+    EXPECT_TRUE(cache.get(k3, out));
+    EXPECT_EQ(out.value, 3);
+}
+
+TEST(ResultCache, ZeroCapacityDisables)
+{
+    serve::ResultCache cache(0, 8);
+    EXPECT_FALSE(cache.enabled());
+    model::NumericPrediction p, out;
+    p.value = 42;
+    cache.put({1, 2, 3}, p);
+    EXPECT_FALSE(cache.get({1, 2, 3}, out));
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResultCache, RuntimeDataHashIsOrderInsensitiveAndValueSensitive)
+{
+    RuntimeData a, b, c;
+    a.scalars["N"] = 8;
+    a.scalars["M"] = 9;
+    b.scalars["M"] = 9; // inserted in the opposite order
+    b.scalars["N"] = 8;
+    c = a;
+    c.scalars["N"] = 7;
+    EXPECT_EQ(serve::hashRuntimeData(a), serve::hashRuntimeData(b));
+    EXPECT_NE(serve::hashRuntimeData(a), serve::hashRuntimeData(c));
+
+    RuntimeData t = a;
+    t.tensors["X"] = {1.0, 2.0};
+    EXPECT_NE(serve::hashRuntimeData(a), serve::hashRuntimeData(t));
+}
+
+TEST(PredictionServer, BatchedResultsBitIdenticalToSequential)
+{
+    // Reference model: same config + seed => identical weights. The
+    // sequential baseline is the same autograd-free full forward the
+    // server workers run (InferenceSession, prefix cache off), so
+    // every field must match exactly, not approximately.
+    auto reference = tinyModel();
+    model::InferenceSession sequential(*reference);
+
+    serve::ServeConfig cfg;
+    cfg.workers = 4;
+    cfg.batchMax = 8;
+    cfg.cacheCapacity = 0; // force every request through the model
+    serve::PredictionServer server(tinyModel(), cfg);
+
+    struct Case
+    {
+        DataflowGraph graph;
+        RuntimeData data;
+        bool hasData;
+        model::Metric metric;
+    };
+    std::vector<Case> cases;
+    for (long bias : {1, 2, 3}) {
+        DataflowGraph g = makeGraph("g" + std::to_string(bias), bias);
+        for (int m = 0; m < model::kNumMetrics; ++m) {
+            auto metric = static_cast<model::Metric>(m);
+            bool dynamic = metric == model::Metric::Cycles;
+            cases.push_back({g, makeData(16 + bias), dynamic, metric});
+        }
+    }
+
+    std::vector<std::future<model::NumericPrediction>> futures;
+    futures.reserve(cases.size());
+    for (const Case& cs : cases)
+        futures.push_back(server.submitAsync(
+            cs.graph, cs.hasData ? &cs.data : nullptr, cs.metric));
+
+    for (size_t i = 0; i < cases.size(); ++i) {
+        const Case& cs = cases[i];
+        auto ep = reference->encode(cs.graph,
+                                    cs.hasData ? &cs.data : nullptr);
+        auto expected = sequential.predict(ep, cs.metric,
+                                           /*use_cache=*/false);
+        expectSamePrediction(futures[i].get(), expected);
+    }
+
+    auto stats = server.stats();
+    EXPECT_EQ(stats.submitted, cases.size());
+    EXPECT_EQ(stats.completed, cases.size());
+    EXPECT_EQ(stats.cacheHits, 0u);
+}
+
+TEST(PredictionServer, CacheServesRepeatsWithoutModelCalls)
+{
+    serve::ServeConfig cfg;
+    cfg.workers = 2;
+    serve::PredictionServer server(tinyModel(), cfg);
+
+    DataflowGraph g = makeGraph("cached", 5);
+    RuntimeData d = makeData(12);
+
+    auto first = server.predict(g, &d, model::Metric::Cycles);
+    auto stats1 = server.stats();
+    EXPECT_EQ(stats1.modelCalls, 1u);
+
+    for (int i = 0; i < 5; ++i) {
+        auto again = server.predict(g, &d, model::Metric::Cycles);
+        expectSamePrediction(again, first);
+    }
+    auto stats2 = server.stats();
+    EXPECT_EQ(stats2.modelCalls, 1u); // repeats never touched the model
+    EXPECT_EQ(stats2.cacheHits, 5u);
+    EXPECT_GT(stats2.hitRate(), 0.5);
+
+    // A different input hash is a distinct key -> new model call.
+    RuntimeData d2 = makeData(13);
+    server.predict(g, &d2, model::Metric::Cycles);
+    EXPECT_EQ(server.stats().modelCalls, 2u);
+}
+
+TEST(PredictionServer, ManyConcurrentClientThreads)
+{
+    auto reference = tinyModel();
+    model::InferenceSession sequential(*reference);
+
+    serve::ServeConfig cfg;
+    cfg.workers = 4;
+    cfg.batchMax = 4;
+    cfg.queueCapacity = 32; // small queue: exercise backpressure
+    serve::PredictionServer server(tinyModel(), cfg);
+
+    const int kClients = 8;
+    const int kPerClient = 12;
+    std::vector<DataflowGraph> graphs;
+    std::vector<RuntimeData> datas;
+    for (long i = 0; i < 3; ++i) {
+        graphs.push_back(makeGraph("c" + std::to_string(i), i));
+        datas.push_back(makeData(8 + i));
+    }
+
+    // Sequential ground truth per (graph, metric) pair.
+    model::NumericPrediction expected[3][model::kNumMetrics];
+    for (size_t gi = 0; gi < graphs.size(); ++gi)
+        for (int m = 0; m < model::kNumMetrics; ++m) {
+            auto metric = static_cast<model::Metric>(m);
+            auto ep = reference->encode(
+                graphs[gi],
+                metric == model::Metric::Cycles ? &datas[gi] : nullptr);
+            expected[gi][m] =
+                sequential.predict(ep, metric, /*use_cache=*/false);
+        }
+
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> clients;
+    for (int t = 0; t < kClients; ++t) {
+        clients.emplace_back([&, t] {
+            for (int i = 0; i < kPerClient; ++i) {
+                size_t gi = size_t(t + i) % graphs.size();
+                int m = (t * kPerClient + i) % model::kNumMetrics;
+                auto metric = static_cast<model::Metric>(m);
+                auto pred = server.predict(
+                    graphs[gi],
+                    metric == model::Metric::Cycles ? &datas[gi] : nullptr,
+                    metric);
+                if (pred.value != expected[gi][m].value ||
+                    pred.digits != expected[gi][m].digits)
+                    mismatches.fetch_add(1);
+            }
+        });
+    }
+    for (auto& c : clients)
+        c.join();
+
+    EXPECT_EQ(mismatches.load(), 0);
+    auto stats = server.stats();
+    EXPECT_EQ(stats.submitted, uint64_t(kClients * kPerClient));
+    EXPECT_EQ(stats.completed, uint64_t(kClients * kPerClient));
+    EXPECT_EQ(stats.queueDepth, 0u);
+    // Each of the 12 distinct keys is computed during its first-use
+    // round (blocking clients guarantee later rounds hit at submit),
+    // so at least half of the 96 requests must be cache hits.
+    EXPECT_GE(stats.cacheHits, uint64_t(kClients * kPerClient) / 2);
+}
+
+TEST(PredictionServer, CleanShutdownAnswersInFlightRequests)
+{
+    serve::ServeConfig cfg;
+    cfg.workers = 2;
+    cfg.cacheCapacity = 0; // keep every request on the slow path
+    serve::PredictionServer server(tinyModel(), cfg);
+
+    std::vector<std::future<model::NumericPrediction>> futures;
+    std::vector<DataflowGraph> graphs;
+    for (long i = 0; i < 12; ++i)
+        graphs.push_back(makeGraph("s" + std::to_string(i), i));
+    for (auto& g : graphs)
+        futures.push_back(
+            server.submitAsync(g, nullptr, model::Metric::Area));
+
+    server.stop(); // must drain, not drop
+
+    for (auto& f : futures) {
+        auto pred = f.get(); // throws if any promise was abandoned
+        EXPECT_GE(pred.value, 0);
+    }
+    auto stats = server.stats();
+    EXPECT_EQ(stats.completed, futures.size());
+    EXPECT_EQ(stats.queueDepth, 0u);
+}
+
+TEST(PredictionServer, SubmitAfterStopFailsFast)
+{
+    serve::PredictionServer server(tinyModel(), {});
+    server.stop();
+    DataflowGraph g = makeGraph("late", 1);
+    auto f = server.submitAsync(g, nullptr, model::Metric::Power);
+    EXPECT_THROW(f.get(), std::runtime_error);
+}
