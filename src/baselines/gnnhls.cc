@@ -88,5 +88,14 @@ GnnHlsModel::parameters() const
     return out;
 }
 
+std::unique_ptr<GnnHlsModel>
+GnnHlsModel::clone() const
+{
+    auto copy = std::make_unique<GnnHlsModel>(cfg_);
+    nn::copyParameterValues(*this, *copy);
+    copy->scaler_ = scaler_;
+    return copy;
+}
+
 } // namespace baselines
 } // namespace llmulator

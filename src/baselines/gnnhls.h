@@ -50,6 +50,9 @@ class GnnHlsModel : public nn::Module
 
     std::vector<nn::TensorPtr> parameters() const override;
 
+    /** Deep copy (config, weights, fitted scaler) — training replicas. */
+    std::unique_ptr<GnnHlsModel> clone() const;
+
   private:
     GnnHlsConfig cfg_;
     std::unique_ptr<nn::Linear> embed_;       //!< node features -> hidden

@@ -61,5 +61,14 @@ TensetMlpModel::parameters() const
     return mlp_->parameters();
 }
 
+std::unique_ptr<TensetMlpModel>
+TensetMlpModel::clone() const
+{
+    auto copy = std::make_unique<TensetMlpModel>(cfg_);
+    nn::copyParameterValues(*this, *copy);
+    copy->scaler_ = scaler_;
+    return copy;
+}
+
 } // namespace baselines
 } // namespace llmulator

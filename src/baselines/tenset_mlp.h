@@ -54,6 +54,9 @@ class TensetMlpModel : public nn::Module
 
     std::vector<nn::TensorPtr> parameters() const override;
 
+    /** Deep copy (config, weights, fitted scaler) — training replicas. */
+    std::unique_ptr<TensetMlpModel> clone() const;
+
   private:
     TensetMlpConfig cfg_;
     std::unique_ptr<nn::Mlp> mlp_;

@@ -72,5 +72,14 @@ TlpModel::parameters() const
     return out;
 }
 
+std::unique_ptr<TlpModel>
+TlpModel::clone() const
+{
+    auto copy = std::make_unique<TlpModel>(cfg_);
+    nn::copyParameterValues(*this, *copy);
+    copy->scaler_ = scaler_;
+    return copy;
+}
+
 } // namespace baselines
 } // namespace llmulator

@@ -54,6 +54,9 @@ class TlpModel : public nn::Module
 
     std::vector<nn::TensorPtr> parameters() const override;
 
+    /** Deep copy (config, weights, fitted scaler) — training replicas. */
+    std::unique_ptr<TlpModel> clone() const;
+
     const TargetScaler& scaler() const { return scaler_; }
 
   private:

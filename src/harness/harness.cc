@@ -5,14 +5,19 @@
 #include <cstdlib>
 #include <cstring>
 
+#include <algorithm>
+
 #include "calib/dpo.h"
 #include "dfir/analysis.h"
 #include "eval/metrics.h"
 #include "eval/model_cache.h"
+#include "harness/trainer.h"
+#include "model/fast_encoder.h"
 #include "nn/optim.h"
 #include "nn/ops.h"
 #include "sim/profiler.h"
 #include "synth/generators.h"
+#include "util/common.h"
 #include "util/string_util.h"
 
 namespace llmulator {
@@ -129,7 +134,16 @@ datasetKey(const synth::Dataset& ds)
 
 namespace {
 
-/** Key combining tag + config hash + dataset hash. */
+/** Exact bit pattern of a float (so lr hashing cannot alias). */
+uint64_t
+floatBits(float f)
+{
+    uint32_t b;
+    std::memcpy(&b, &f, sizeof(b));
+    return b;
+}
+
+/** Key combining tag + config hash + dataset hash + training schedule. */
 std::string
 cacheKey(const std::string& tag, uint64_t cfg_hash, const synth::Dataset& ds,
          const TrainConfig& tcfg)
@@ -137,11 +151,64 @@ cacheKey(const std::string& tag, uint64_t cfg_hash, const synth::Dataset& ds,
     uint64_t h = util::fnv1a(tag);
     h = util::hashCombine(h, cfg_hash);
     h = util::hashCombine(h, datasetKey(ds));
+    // Every math-affecting TrainConfig field participates, so new knobs
+    // can never alias a stale artifact. trainThreads is excluded on
+    // purpose: the engine is bit-identical across thread counts (see
+    // trainer.h), so artifacts trained at different parallelism are
+    // interchangeable.
     h = util::hashCombine(h, static_cast<uint64_t>(tcfg.epochs));
-    h = util::hashCombine(h,
-                          static_cast<uint64_t>(tcfg.lr * 1e6f));
+    h = util::hashCombine(h, floatBits(tcfg.lr));
+    h = util::hashCombine(h, tcfg.seed);
+    h = util::hashCombine(h, static_cast<uint64_t>(tcfg.batchSize));
     return util::format("%s_%016llx", tag.c_str(),
                         static_cast<unsigned long long>(h));
+}
+
+/** Engine configuration derived from the bench-suite TrainConfig. */
+TrainerConfig
+engineConfig(const TrainConfig& tcfg, const std::string& tag,
+             int epoch_mult)
+{
+    TrainerConfig tc;
+    tc.epochs = tcfg.epochs * epoch_mult;
+    tc.batchSize = tcfg.batchSize;
+    tc.seed = tcfg.seed;
+    tc.opt.lr = tcfg.lr;
+    tc.tag = tag;
+    return tc;
+}
+
+/**
+ * Drive the minibatch engine for one master model: build one replica per
+ * resolved worker thread (replica 0 is the master itself; the rest are
+ * clone()s), wire each to a per-sample loss closure from make_loss, and
+ * train. M must expose parameters() and clone(); make_loss(M*) must
+ * return a std::function<nn::TensorPtr(size_t)> over sample indices.
+ */
+template <typename M, typename LossFactory>
+TrainStats
+runEngine(M& master, const LossFactory& make_loss, size_t num_samples,
+          const TrainConfig& tcfg, const std::string& tag,
+          int epoch_mult = 1)
+{
+    int threads = resolveTrainThreads(tcfg.trainThreads);
+    // Workers beyond the batch (or corpus) would never receive a sample;
+    // don't pay for their replicas.
+    threads = std::min<int>(threads, std::max(1, tcfg.batchSize));
+    if (num_samples > 0)
+        threads =
+            std::min<int>(threads, static_cast<int>(num_samples));
+
+    std::vector<std::unique_ptr<M>> clones;
+    std::vector<TrainReplica> replicas;
+    replicas.push_back({master.parameters(), make_loss(&master)});
+    for (int t = 1; t < threads; ++t) {
+        clones.push_back(master.clone());
+        replicas.push_back(
+            {clones.back()->parameters(), make_loss(clones.back().get())});
+    }
+    return trainMinibatch(master.parameters(), replicas, num_samples,
+                          engineConfig(tcfg, tag, epoch_mult));
 }
 
 uint64_t
@@ -177,50 +244,40 @@ trainCostModel(const model::CostModelConfig& mcfg, const synth::Dataset& ds,
                 smokeMode() ? " (smoke)" : "");
     std::fflush(stdout);
 
-    // Pre-encode every sample once (tokenization dominates otherwise).
-    struct Enc
-    {
-        model::EncodedProgram stat;
-        model::EncodedProgram dyn;
-        bool hasDyn;
-        const synth::Sample* s;
-    };
-    std::vector<Enc> encs;
-    encs.reserve(ds.samples.size());
-    for (const auto& s : ds.samples) {
-        Enc e;
-        e.s = &s;
-        e.stat = m->encode(s.graph, nullptr, s.reasoning);
-        e.hasDyn = s.hasData;
-        if (s.hasData)
-            e.dyn = m->encode(s.graph, &s.data, s.reasoning);
-        encs.push_back(std::move(e));
-    }
-
-    nn::AdamWConfig ocfg;
-    ocfg.lr = tcfg.lr;
-    nn::AdamW opt(m->parameters(), ocfg);
-    util::Rng rng(tcfg.seed);
-    std::vector<size_t> order(encs.size());
-    for (size_t i = 0; i < order.size(); ++i)
-        order[i] = i;
-
-    for (int epoch = 0; epoch < tcfg.epochs; ++epoch) {
-        rng.shuffle(order);
-        for (size_t idx : order) {
-            const Enc& e = encs[idx];
-            opt.zeroGrad();
-            auto loss = m->lossOnSample(e.stat, e.hasDyn ? &e.dyn : nullptr,
-                                        e.s->targets);
-            loss->backward();
-            opt.step();
-        }
-        std::printf("[train] %s: epoch %d/%d done\n", tag.c_str(),
-                    epoch + 1, tcfg.epochs);
-        std::fflush(stdout);
-    }
+    trainCostModelUncached(*m, ds, tcfg, tag);
     eval::storeCached(key, m->parameters());
     return m;
+}
+
+TrainStats
+trainCostModelUncached(model::CostModel& m, const synth::Dataset& ds,
+                       const TrainConfig& tcfg, const std::string& tag)
+{
+    // Pre-encode every sample once (tokenization dominates otherwise);
+    // the pair path tokenizes shared segments once for both views.
+    std::vector<model::TrainingEncoding> encs;
+    encs.reserve(ds.samples.size());
+    for (const auto& s : ds.samples)
+        encs.push_back(model::encodeForTraining(
+            m, s.graph, s.hasData ? &s.data : nullptr, s.reasoning));
+    return trainCostModelUncached(m, ds, encs, tcfg, tag);
+}
+
+TrainStats
+trainCostModelUncached(model::CostModel& m, const synth::Dataset& ds,
+                       const std::vector<model::TrainingEncoding>& encs,
+                       const TrainConfig& tcfg, const std::string& tag)
+{
+    LLM_CHECK(encs.size() == ds.samples.size(),
+              "pre-encoded corpus misaligned with dataset");
+    auto make_loss = [&ds, &encs](const model::CostModel* rm) {
+        return [rm, &ds, &encs](size_t i) {
+            const model::TrainingEncoding& e = encs[i];
+            return rm->lossOnSample(e.stat, e.hasDyn ? &e.dyn : nullptr,
+                                    ds.samples[i].targets);
+        };
+    };
+    return runEngine(m, make_loss, encs.size(), tcfg, tag);
 }
 
 std::unique_ptr<baselines::TlpModel>
@@ -250,28 +307,19 @@ trainTlp(const synth::Dataset& ds, const TrainConfig& tcfg,
     for (const auto& s : ds.samples)
         toks.push_back(m->encode(s.graph));
 
-    nn::AdamWConfig ocfg;
-    ocfg.lr = tcfg.lr;
-    nn::AdamW opt(m->parameters(), ocfg);
-    util::Rng rng(tcfg.seed);
-    std::vector<size_t> order(toks.size());
-    for (size_t i = 0; i < order.size(); ++i)
-        order[i] = i;
-    for (int epoch = 0; epoch < tcfg.epochs; ++epoch) {
-        rng.shuffle(order);
-        for (size_t idx : order) {
-            const auto& s = ds.samples[idx];
-            opt.zeroGrad();
+    auto make_loss = [&ds, &toks](const baselines::TlpModel* rm) {
+        return [rm, &ds, &toks](size_t idx) {
             nn::TensorPtr loss;
             for (int mi = 0; mi < model::kNumMetrics; ++mi) {
                 auto metric = static_cast<model::Metric>(mi);
-                auto l = m->loss(toks[idx], metric, s.targets.get(metric));
+                auto l = rm->loss(toks[idx], metric,
+                                  ds.samples[idx].targets.get(metric));
                 loss = loss ? nn::add(loss, l) : l;
             }
-            loss->backward();
-            opt.step();
-        }
-    }
+            return loss;
+        };
+    };
+    runEngine(*m, make_loss, toks.size(), tcfg, std::string());
     eval::storeCached(key, m->parameters());
     return m;
 }
@@ -296,29 +344,19 @@ trainGnnHls(const synth::Dataset& ds, const TrainConfig& tcfg,
     for (const auto& s : ds.samples)
         graphs.push_back(dfir::extractProgramGraph(s.graph));
 
-    nn::AdamWConfig ocfg;
-    ocfg.lr = tcfg.lr;
-    nn::AdamW opt(m->parameters(), ocfg);
-    util::Rng rng(tcfg.seed);
-    std::vector<size_t> order(graphs.size());
-    for (size_t i = 0; i < order.size(); ++i)
-        order[i] = i;
-    for (int epoch = 0; epoch < tcfg.epochs; ++epoch) {
-        rng.shuffle(order);
-        for (size_t idx : order) {
-            const auto& s = ds.samples[idx];
-            opt.zeroGrad();
+    auto make_loss = [&ds, &graphs](const baselines::GnnHlsModel* rm) {
+        return [rm, &ds, &graphs](size_t idx) {
             nn::TensorPtr loss;
             for (int mi = 0; mi < model::kNumMetrics; ++mi) {
                 auto metric = static_cast<model::Metric>(mi);
-                auto l = m->loss(graphs[idx], metric,
-                                 s.targets.get(metric));
+                auto l = rm->loss(graphs[idx], metric,
+                                  ds.samples[idx].targets.get(metric));
                 loss = loss ? nn::add(loss, l) : l;
             }
-            loss->backward();
-            opt.step();
-        }
-    }
+            return loss;
+        };
+    };
+    runEngine(*m, make_loss, graphs.size(), tcfg, std::string());
     eval::storeCached(key, m->parameters());
     return m;
 }
@@ -344,30 +382,21 @@ trainTensetMlp(const synth::Dataset& ds, const TrainConfig& tcfg,
         feats.push_back(
             baselines::TensetMlpModel::features(s.graph, s.data.scalars));
 
-    nn::AdamWConfig ocfg;
-    ocfg.lr = tcfg.lr;
-    nn::AdamW opt(m->parameters(), ocfg);
-    util::Rng rng(tcfg.seed);
-    std::vector<size_t> order(feats.size());
-    for (size_t i = 0; i < order.size(); ++i)
-        order[i] = i;
-    // The MLP is tiny; give it more passes.
-    for (int epoch = 0; epoch < tcfg.epochs * 4; ++epoch) {
-        rng.shuffle(order);
-        for (size_t idx : order) {
-            const auto& s = ds.samples[idx];
-            opt.zeroGrad();
+    auto make_loss = [&ds, &feats](const baselines::TensetMlpModel* rm) {
+        return [rm, &ds, &feats](size_t idx) {
             nn::TensorPtr loss;
             for (int mi = 0; mi < model::kNumMetrics; ++mi) {
                 auto metric = static_cast<model::Metric>(mi);
-                auto l =
-                    m->loss(feats[idx], metric, s.targets.get(metric));
+                auto l = rm->loss(feats[idx], metric,
+                                  ds.samples[idx].targets.get(metric));
                 loss = loss ? nn::add(loss, l) : l;
             }
-            loss->backward();
-            opt.step();
-        }
-    }
+            return loss;
+        };
+    };
+    // The MLP is tiny; give it more passes.
+    runEngine(*m, make_loss, feats.size(), tcfg, std::string(),
+              /*epoch_mult=*/4);
     eval::storeCached(key, m->parameters());
     return m;
 }

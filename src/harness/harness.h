@@ -16,19 +16,34 @@
 #include "baselines/gnnhls.h"
 #include "baselines/tenset_mlp.h"
 #include "baselines/tlp.h"
+#include "harness/trainer.h"
 #include "model/cost_model.h"
+#include "model/fast_encoder.h"
 #include "synth/dataset.h"
 #include "workloads/workloads.h"
 
 namespace llmulator {
 namespace harness {
 
-/** Training-loop knobs (shared by all learned models). */
+/**
+ * Training-loop knobs (shared by all learned models). All training runs
+ * through the deterministic minibatch engine in harness/trainer.h; the
+ * fields marked math-affecting are part of every model-cache key.
+ */
 struct TrainConfig
 {
-    int epochs = 6;
-    float lr = 2e-3f;
-    uint64_t seed = 99;
+    int epochs = 6;        //!< math-affecting
+    float lr = 2e-3f;      //!< math-affecting
+    uint64_t seed = 99;    //!< math-affecting (epoch shuffle order)
+    /** Samples per optimizer step (gradients are minibatch means). */
+    int batchSize = 8;     //!< math-affecting
+    /**
+     * Worker threads for the engine; <= 0 resolves through
+     * resolveTrainThreads() ($LLMULATOR_TRAIN_THREADS, else hardware).
+     * Training is bit-identical for any thread count, so this knob is
+     * deliberately NOT part of the model-cache key.
+     */
+    int trainThreads = 0;
 };
 
 /**
@@ -70,11 +85,34 @@ void addWorkloadFamilyData(synth::Dataset& ds,
 
 /**
  * Train (or load from cache) a CostModel on the dataset. The cache key
- * combines 'tag' with the model config and dataset identity.
+ * combines 'tag' with the model config, dataset identity and every
+ * math-affecting TrainConfig field.
  */
 std::unique_ptr<model::CostModel>
 trainCostModel(const model::CostModelConfig& mcfg, const synth::Dataset& ds,
                const TrainConfig& tcfg, const std::string& tag);
+
+/**
+ * Train an already-constructed CostModel in place through the minibatch
+ * engine, bypassing the model cache — the path for throughput benches
+ * and determinism tests that must measure/verify real training. A
+ * non-empty tag enables per-epoch progress lines.
+ */
+TrainStats trainCostModelUncached(model::CostModel& m,
+                                  const synth::Dataset& ds,
+                                  const TrainConfig& tcfg,
+                                  const std::string& tag = "");
+
+/**
+ * Same, over an already pre-encoded corpus (encs[i] must encode
+ * ds.samples[i]; encodings are weight-independent, so one set can be
+ * shared across runs). This is the exact engine path — the throughput
+ * bench uses it to time training without the serial encode cost.
+ */
+TrainStats trainCostModelUncached(
+    model::CostModel& m, const synth::Dataset& ds,
+    const std::vector<model::TrainingEncoding>& encs,
+    const TrainConfig& tcfg, const std::string& tag = "");
 
 /** Train (or load) the TLP baseline. */
 std::unique_ptr<baselines::TlpModel>

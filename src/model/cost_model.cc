@@ -144,14 +144,7 @@ std::unique_ptr<CostModel>
 CostModel::clone() const
 {
     auto copy = std::make_unique<CostModel>(cfg_);
-    auto src = parameters();
-    auto dst = copy->parameters();
-    LLM_CHECK(src.size() == dst.size(), "clone parameter count mismatch");
-    for (size_t i = 0; i < src.size(); ++i) {
-        LLM_CHECK(src[i]->value.size() == dst[i]->value.size(),
-                  "clone shape mismatch at " << i);
-        dst[i]->value = src[i]->value;
-    }
+    nn::copyParameterValues(*this, *copy);
     return copy;
 }
 

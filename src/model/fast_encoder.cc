@@ -8,6 +8,25 @@
 namespace llmulator {
 namespace model {
 
+TrainingEncoding
+encodeForTraining(const CostModel& m, const dfir::DataflowGraph& g,
+                  const dfir::RuntimeData* data,
+                  const std::string& reasoning)
+{
+    TrainingEncoding enc;
+    if (data == nullptr) {
+        enc.stat = m.encode(g, nullptr, reasoning);
+        return enc;
+    }
+    auto segments = renderSegments(g, data, reasoning);
+    EncodedPair pair =
+        encodeSegmentsPair(m.tok(), segments, m.config().enc.maxSeq);
+    enc.stat = std::move(pair.stat);
+    enc.dyn = std::move(pair.dyn);
+    enc.hasDyn = true;
+    return enc;
+}
+
 namespace {
 
 /** y[out] (+)= x[in] * W[in,out] + b — row-vector linear, raw floats. */

@@ -29,6 +29,28 @@
 namespace llmulator {
 namespace model {
 
+/** Pre-encoded training views of one sample (see encodeForTraining). */
+struct TrainingEncoding
+{
+    EncodedProgram stat;   //!< static {G, Op, Params} view
+    EncodedProgram dyn;    //!< dynamic (+ runtime data) view, if hasDyn
+    bool hasDyn = false;
+};
+
+/**
+ * Encode one sample for training, producing the static encoding and —
+ * when runtime data is present — the dynamic encoding from a single
+ * segment render + tokenization pass (the two views share every segment
+ * except the data tail, so tokenizing them separately does ~2x the
+ * work). The result is bitwise identical to two CostModel::encode()
+ * calls; the minibatch trainer pre-encodes the whole corpus through
+ * this once, then reuses the encodings across every epoch and worker.
+ */
+TrainingEncoding encodeForTraining(const CostModel& m,
+                                   const dfir::DataflowGraph& g,
+                                   const dfir::RuntimeData* data,
+                                   const std::string& reasoning = "");
+
 /** Latency/accuracy statistics of a session (for the runtime tables). */
 struct SessionStats
 {

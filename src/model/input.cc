@@ -52,15 +52,24 @@ renderSegments(const dfir::DataflowGraph& g, const dfir::RuntimeData* data,
     return segs;
 }
 
+namespace {
+
+/**
+ * Assemble pre-tokenized segments into an EncodedProgram, optionally
+ * skipping Data segments (the static view of a dynamic sample). The
+ * truncation budget is computed over the *included* segments only, so a
+ * static assembly is bitwise identical to encoding the data-free segment
+ * list from scratch.
+ */
 EncodedProgram
-encodeSegments(const tokenizer::Tokenizer& tok,
-               const std::vector<Segment>& segments, int max_len)
+assembleSegments(const std::vector<Segment>& segments,
+                 const std::vector<std::vector<int>>& ids, int max_len,
+                 bool include_data)
 {
-    // Tokenize every segment first so the budget split is known.
-    std::vector<std::vector<int>> ids(segments.size());
     int total = 0, op_total = 0, other_total = 0, op_count = 0;
     for (size_t i = 0; i < segments.size(); ++i) {
-        ids[i] = tok.encode(segments[i].text);
+        if (!include_data && segments[i].kind == SegmentKind::Data)
+            continue;
         total += static_cast<int>(ids[i].size());
         if (segments[i].kind == SegmentKind::Op) {
             op_total += static_cast<int>(ids[i].size());
@@ -84,6 +93,8 @@ encodeSegments(const tokenizer::Tokenizer& tok,
     EncodedProgram ep;
     for (size_t i = 0; i < segments.size(); ++i) {
         const Segment& seg = segments[i];
+        if (!include_data && seg.kind == SegmentKind::Data)
+            continue;
         int limit = static_cast<int>(ids[i].size());
         if (op_cap >= 0 && seg.kind == SegmentKind::Op)
             limit = std::min(limit, op_cap);
@@ -101,6 +112,41 @@ encodeSegments(const tokenizer::Tokenizer& tok,
             ep.hasData = true;
     }
     return ep;
+}
+
+std::vector<std::vector<int>>
+tokenizeSegments(const tokenizer::Tokenizer& tok,
+                 const std::vector<Segment>& segments)
+{
+    std::vector<std::vector<int>> ids(segments.size());
+    for (size_t i = 0; i < segments.size(); ++i)
+        ids[i] = tok.encode(segments[i].text);
+    return ids;
+}
+
+} // namespace
+
+EncodedProgram
+encodeSegments(const tokenizer::Tokenizer& tok,
+               const std::vector<Segment>& segments, int max_len)
+{
+    return assembleSegments(segments, tokenizeSegments(tok, segments),
+                            max_len, /*include_data=*/true);
+}
+
+EncodedPair
+encodeSegmentsPair(const tokenizer::Tokenizer& tok,
+                   const std::vector<Segment>& segments, int max_len)
+{
+    // Tokenization dominates encode cost; run it once per segment and
+    // assemble both views from the shared ids.
+    auto ids = tokenizeSegments(tok, segments);
+    EncodedPair pair;
+    pair.stat =
+        assembleSegments(segments, ids, max_len, /*include_data=*/false);
+    pair.dyn =
+        assembleSegments(segments, ids, max_len, /*include_data=*/true);
+    return pair;
 }
 
 nn::TensorPtr

@@ -72,6 +72,24 @@ EncodedProgram encodeSegments(const tokenizer::Tokenizer& tok,
                               const std::vector<Segment>& segments,
                               int max_len);
 
+/** Static ({G, Op, Params}) and dynamic (+ data) views of one program. */
+struct EncodedPair
+{
+    EncodedProgram stat;
+    EncodedProgram dyn;
+};
+
+/**
+ * Encode both views of a segment list that includes a Data segment,
+ * tokenizing each segment once. Each view is bitwise identical to what
+ * encodeSegments() would produce from the corresponding segment list —
+ * the truncation budget is recomputed per view — so training code can
+ * switch to the pair path without changing the model's inputs.
+ */
+EncodedPair encodeSegmentsPair(const tokenizer::Tokenizer& tok,
+                               const std::vector<Segment>& segments,
+                               int max_len);
+
 /**
  * Build the additive control-flow separation mask (paper Figure 5): a
  * [len, len] tensor that is 0 everywhere except Class-I-operator x Data

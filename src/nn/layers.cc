@@ -31,6 +31,19 @@ Module::parameterCount() const
     return n;
 }
 
+void
+copyParameterValues(const Module& src, Module& dst)
+{
+    auto s = src.parameters();
+    auto d = dst.parameters();
+    LLM_CHECK(s.size() == d.size(), "clone parameter count mismatch");
+    for (size_t i = 0; i < s.size(); ++i) {
+        LLM_CHECK(s[i]->value.size() == d[i]->value.size(),
+                  "clone shape mismatch at " << i);
+        d[i]->value = s[i]->value;
+    }
+}
+
 Linear::Linear(int in, int out, util::Rng& rng)
 {
     weight = xavier(in, out, rng);

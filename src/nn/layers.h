@@ -36,6 +36,13 @@ class Module
     int64_t parameterCount() const;
 };
 
+/**
+ * Copy trainable parameter values between two identically-configured
+ * modules (the clone() implementations of every learned model;
+ * gradients and optimizer state never transfer).
+ */
+void copyParameterValues(const Module& src, Module& dst);
+
 /** Affine map y = x W + b. */
 class Linear : public Module
 {

@@ -58,8 +58,48 @@ AdamW::step()
 void
 AdamW::zeroGrad()
 {
-    for (auto& p : params_)
+    zeroGrads(params_);
+}
+
+void
+zeroGrads(const std::vector<TensorPtr>& params)
+{
+    for (const auto& p : params)
         p->zeroGrad();
+}
+
+void
+clearGrads(const std::vector<TensorPtr>& params)
+{
+    // clear() keeps capacity, so the next backward reallocates nothing;
+    // only the empty()-means-unreached invariant matters here.
+    for (const auto& p : params)
+        p->grad.clear();
+}
+
+void
+GradBuffer::captureFrom(const std::vector<TensorPtr>& params)
+{
+    grads_.resize(params.size());
+    for (size_t i = 0; i < params.size(); ++i)
+        grads_[i] = params[i]->grad;
+}
+
+void
+GradBuffer::addTo(const std::vector<TensorPtr>& params, float scale) const
+{
+    LLM_CHECK(grads_.size() == params.size(),
+              "GradBuffer/parameter list size mismatch");
+    for (size_t i = 0; i < params.size(); ++i) {
+        if (grads_[i].empty())
+            continue;
+        Tensor& p = *params[i];
+        LLM_CHECK(grads_[i].size() == p.value.size(),
+                  "GradBuffer shape mismatch at " << i);
+        p.ensureGrad();
+        for (size_t j = 0; j < grads_[i].size(); ++j)
+            p.grad[j] += scale * grads_[i][j];
+    }
 }
 
 } // namespace nn

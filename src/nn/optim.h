@@ -4,7 +4,8 @@
 /**
  * @file
  * AdamW optimizer with global-norm gradient clipping — the paper trains all
- * models (SFT and DPO stages) with AdamW (Section 7.1).
+ * models (SFT and DPO stages) with AdamW (Section 7.1) — plus the detached
+ * gradient-accumulation substrate the minibatch trainer builds on.
  */
 
 #include <vector>
@@ -13,6 +14,62 @@
 
 namespace llmulator {
 namespace nn {
+
+/** Zero the gradient buffer of every tensor in the list. */
+void zeroGrads(const std::vector<TensorPtr>& params);
+
+/**
+ * Drop (deallocate) the gradient buffer of every tensor in the list.
+ *
+ * Unlike zeroGrads(), which keeps once-allocated buffers alive as zeros,
+ * this restores the "never reached by backward" state. The trainer clears
+ * replica gradients between samples so a captured GradBuffer records
+ * exactly the parameters the *current* sample's graph touched — keeping
+ * the reduced gradient's allocation pattern (and hence AdamW's
+ * touched-parameter weight-decay behavior) independent of which worker
+ * thread processed which sample.
+ */
+void clearGrads(const std::vector<TensorPtr>& params);
+
+/**
+ * Detached per-parameter gradient storage, aligned with a parameter list.
+ *
+ * The minibatch trainer gives every sample position in a batch one
+ * GradBuffer slot: a worker thread runs backward on its private model
+ * replica, captures the replica's parameter gradients into the slot, and
+ * the reducer adds the slots back into the shared parameters in fixed
+ * sample-index order. Because capture is per-sample and the reduction
+ * order is positional (never completion order), the summed gradient — and
+ * therefore the whole training trajectory — is bit-identical for any
+ * worker-thread count.
+ *
+ * Parameters whose gradient was never reached by backward stay empty in
+ * the buffer and are skipped by addTo(), preserving AdamW's convention
+ * that untouched parameters receive no update (not even weight decay).
+ */
+class GradBuffer
+{
+  public:
+    GradBuffer() = default;
+
+    /** Copy the parameters' current gradients into this buffer. */
+    void captureFrom(const std::vector<TensorPtr>& params);
+
+    /** Accumulate scale * buffer into the parameters' gradients. */
+    void addTo(const std::vector<TensorPtr>& params, float scale) const;
+
+    /** Drop captured gradients. */
+    void clear() { grads_.clear(); }
+
+    /** Whether slot i holds a (possibly zero) captured gradient. */
+    bool captured(size_t i) const
+    {
+        return i < grads_.size() && !grads_[i].empty();
+    }
+
+  private:
+    std::vector<std::vector<float>> grads_;
+};
 
 /** AdamW configuration. */
 struct AdamWConfig

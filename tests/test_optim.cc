@@ -1,0 +1,179 @@
+/**
+ * @file
+ * AdamW and gradient-accumulation semantics: zeroGrad/clearGrads
+ * behavior, equivalence of accumulated vs pre-summed gradients, the
+ * global-norm diagnostic, untouched-parameter skipping, and the
+ * GradBuffer capture/reduce substrate the minibatch trainer builds on.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/optim.h"
+#include "nn/tensor.h"
+
+namespace {
+
+using namespace llmulator;
+
+std::vector<nn::TensorPtr>
+makeParams()
+{
+    auto a = nn::Tensor::fromData(2, 2, {1.f, -2.f, 3.f, 0.5f}, true);
+    auto b = nn::Tensor::fromData(1, 3, {0.25f, 4.f, -1.f}, true);
+    return {a, b};
+}
+
+void
+setGrad(const nn::TensorPtr& p, std::vector<float> g)
+{
+    p->ensureGrad();
+    p->grad = std::move(g);
+}
+
+TEST(AdamW, ZeroGradClearsAllGradients)
+{
+    auto params = makeParams();
+    setGrad(params[0], {1.f, 2.f, 3.f, 4.f});
+    setGrad(params[1], {5.f, 6.f, 7.f});
+    nn::AdamW opt(params);
+    opt.zeroGrad();
+    for (const auto& p : params)
+        for (float g : p->grad)
+            EXPECT_EQ(g, 0.f);
+}
+
+TEST(AdamW, AccumulatedGradsEqualSingleEquivalentGrad)
+{
+    // Two identical parameter sets; 'a' accumulates g1 then g2 (the
+    // autograd convention: backward() adds into grad), 'b' receives the
+    // pre-summed gradient. One step each must produce identical values.
+    auto a = makeParams();
+    auto b = makeParams();
+    nn::AdamW optA(a), optB(b);
+
+    std::vector<std::vector<float>> g1 = {{.1f, .2f, .3f, .4f}, {1.f, 0.f, -1.f}};
+    std::vector<std::vector<float>> g2 = {{.5f, -.5f, .25f, 0.f}, {0.f, 2.f, 1.f}};
+    for (size_t i = 0; i < a.size(); ++i) {
+        a[i]->ensureGrad();
+        for (size_t j = 0; j < g1[i].size(); ++j)
+            a[i]->grad[j] += g1[i][j];
+        for (size_t j = 0; j < g2[i].size(); ++j)
+            a[i]->grad[j] += g2[i][j];
+        b[i]->ensureGrad();
+        for (size_t j = 0; j < g1[i].size(); ++j)
+            b[i]->grad[j] = g1[i][j] + g2[i][j];
+    }
+    optA.step();
+    optB.step();
+    for (size_t i = 0; i < a.size(); ++i)
+        for (size_t j = 0; j < a[i]->value.size(); ++j)
+            EXPECT_EQ(a[i]->value[j], b[i]->value[j]);
+}
+
+TEST(AdamW, LastGradNormMatchesManualNorm)
+{
+    auto params = makeParams();
+    nn::AdamWConfig cfg;
+    cfg.clipNorm = 0.f; // disable clipping so the norm is pure diagnostic
+    nn::AdamW opt(params, cfg);
+    setGrad(params[0], {3.f, 0.f, 0.f, 0.f});
+    setGrad(params[1], {0.f, 4.f, 0.f});
+    opt.step();
+    EXPECT_FLOAT_EQ(opt.lastGradNorm(), 5.f);
+}
+
+TEST(AdamW, ClippingEqualsPreScaledGradients)
+{
+    // A clipped step over large gradients must equal an unclipped step
+    // over the same gradients pre-scaled by clipNorm / norm — clipping
+    // is pure gradient scaling, nothing else.
+    auto a = makeParams();
+    auto b = makeParams();
+    nn::AdamWConfig clipped;
+    clipped.clipNorm = 1.f;
+    nn::AdamWConfig unclipped = clipped;
+    unclipped.clipNorm = 0.f;
+    nn::AdamW optA(a, clipped), optB(b, unclipped);
+
+    std::vector<float> g = {100.f, 100.f, 100.f, 100.f}; // norm 200
+    setGrad(a[0], g);
+    float scale = clipped.clipNorm / (200.f + 1e-12f);
+    std::vector<float> gs(g.size());
+    for (size_t j = 0; j < g.size(); ++j)
+        gs[j] = g[j] * scale;
+    setGrad(b[0], gs);
+
+    optA.step();
+    optB.step();
+    EXPECT_FLOAT_EQ(optA.lastGradNorm(), 200.f);
+    for (size_t j = 0; j < a[0]->value.size(); ++j)
+        EXPECT_EQ(a[0]->value[j], b[0]->value[j]);
+}
+
+TEST(AdamW, UntouchedParametersReceiveNoUpdate)
+{
+    // Parameters whose grad was never allocated must keep their exact
+    // value — not even weight decay applies (the engine relies on this
+    // when reducing sparse per-sample gradients).
+    auto params = makeParams();
+    nn::AdamW opt(params);
+    setGrad(params[0], {1.f, 1.f, 1.f, 1.f});
+    auto before = params[1]->value;
+    opt.step();
+    EXPECT_TRUE(params[1]->grad.empty());
+    EXPECT_EQ(params[1]->value, before);
+    EXPECT_NE(params[0]->value[0], 1.f);
+}
+
+TEST(Optim, ClearGradsDeallocates)
+{
+    auto params = makeParams();
+    setGrad(params[0], {1.f, 2.f, 3.f, 4.f});
+    nn::zeroGrads(params);
+    EXPECT_FALSE(params[0]->grad.empty()); // zeroGrads keeps buffers
+    nn::clearGrads(params);
+    EXPECT_TRUE(params[0]->grad.empty()); // clearGrads drops them
+    EXPECT_TRUE(params[1]->grad.empty());
+}
+
+TEST(GradBuffer, CaptureAddRoundTripWithScale)
+{
+    auto params = makeParams();
+    setGrad(params[0], {1.f, 2.f, 3.f, 4.f});
+    // params[1] untouched: must stay unreached through the round trip.
+    nn::GradBuffer slot;
+    slot.captureFrom(params);
+    EXPECT_TRUE(slot.captured(0));
+    EXPECT_FALSE(slot.captured(1));
+
+    nn::clearGrads(params);
+    slot.addTo(params, 0.5f);
+    ASSERT_EQ(params[0]->grad.size(), 4u);
+    EXPECT_FLOAT_EQ(params[0]->grad[1], 1.f);
+    EXPECT_TRUE(params[1]->grad.empty());
+}
+
+TEST(GradBuffer, SlotReductionMatchesSequentialSum)
+{
+    // Reduce two captured slots into the master and compare against the
+    // hand-computed mean — the exact reduction the trainer performs.
+    auto params = makeParams();
+    setGrad(params[0], {1.f, 0.f, -1.f, 2.f});
+    nn::GradBuffer s1;
+    s1.captureFrom(params);
+    nn::clearGrads(params);
+    setGrad(params[0], {3.f, 2.f, 1.f, 0.f});
+    nn::GradBuffer s2;
+    s2.captureFrom(params);
+    nn::clearGrads(params);
+
+    s1.addTo(params, 0.5f);
+    s2.addTo(params, 0.5f);
+    std::vector<float> expect = {2.f, 1.f, 0.f, 1.f};
+    for (size_t j = 0; j < expect.size(); ++j)
+        EXPECT_FLOAT_EQ(params[0]->grad[j], expect[j]);
+}
+
+} // namespace

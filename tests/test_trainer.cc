@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Minibatch training engine tests: the bit-identical 1-vs-N-thread
+ * guarantee on both a pure-nn regression problem and the real cost
+ * model, batch-boundary edge cases (corpus % batch != 0, batch >
+ * corpus, batch of one, empty corpus), and repeated pool
+ * construction/teardown — the suite CI runs under ThreadSanitizer.
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "harness/harness.h"
+#include "harness/trainer.h"
+#include "model/fast_encoder.h"
+#include "nn/layers.h"
+#include "nn/ops.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace llmulator;
+
+/**
+ * Tiny deterministic regression corpus: y = x0 - 2*x1 with fixed inputs.
+ * Cheap enough that every edge case below runs in microseconds, even
+ * under TSan.
+ */
+struct TinyProblem
+{
+    std::vector<std::vector<float>> xs;
+    std::vector<float> ys;
+
+    explicit TinyProblem(size_t n)
+    {
+        util::Rng rng(4242);
+        for (size_t i = 0; i < n; ++i) {
+            float a = static_cast<float>(rng.uniform(-1.0, 1.0));
+            float b = static_cast<float>(rng.uniform(-1.0, 1.0));
+            xs.push_back({a, b});
+            ys.push_back(a - 2.f * b);
+        }
+    }
+};
+
+/** Mlp replica bundle: every replica is its own identically-seeded net. */
+struct TinyRig
+{
+    std::vector<std::unique_ptr<nn::Mlp>> nets;
+    std::vector<harness::TrainReplica> replicas;
+    const TinyProblem* prob;
+
+    TinyRig(const TinyProblem& p, int threads) : prob(&p)
+    {
+        for (int t = 0; t < threads; ++t) {
+            util::Rng rng(7);
+            nets.push_back(
+                std::make_unique<nn::Mlp>(std::vector<int>{2, 8, 1}, rng));
+            const nn::Mlp* net = nets.back().get();
+            replicas.push_back(
+                {net->parameters(), [net, &p](size_t i) {
+                     auto x = nn::Tensor::fromData(1, 2, p.xs[i]);
+                     return nn::mseLoss(net->forward(x), {p.ys[i]});
+                 }});
+        }
+    }
+
+    harness::TrainStats
+    train(const harness::TrainerConfig& cfg)
+    {
+        return harness::trainMinibatch(nets[0]->parameters(), replicas,
+                                       prob->xs.size(), cfg);
+    }
+};
+
+harness::TrainerConfig
+tinyConfig(int epochs = 3, int batch = 4)
+{
+    harness::TrainerConfig cfg;
+    cfg.epochs = epochs;
+    cfg.batchSize = batch;
+    cfg.seed = 11;
+    return cfg;
+}
+
+void
+expectBitIdentical(const harness::TrainStats& a,
+                   const harness::TrainStats& b, const nn::Mlp& ma,
+                   const nn::Mlp& mb)
+{
+    ASSERT_EQ(a.epochLoss.size(), b.epochLoss.size());
+    for (size_t e = 0; e < a.epochLoss.size(); ++e)
+        EXPECT_EQ(a.epochLoss[e], b.epochLoss[e]) << "epoch " << e;
+    auto pa = ma.parameters(), pb = mb.parameters();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (size_t i = 0; i < pa.size(); ++i)
+        for (size_t j = 0; j < pa[i]->value.size(); ++j)
+            EXPECT_EQ(pa[i]->value[j], pb[i]->value[j])
+                << "param " << i << "[" << j << "]";
+}
+
+TEST(Trainer, BitIdenticalAcrossThreadCounts)
+{
+    TinyProblem p(13); // 13 % 4 != 0: exercises a partial final batch too
+    TinyRig one(p, 1), four(p, 4), eight(p, 8);
+    auto s1 = one.train(tinyConfig());
+    auto s4 = four.train(tinyConfig());
+    auto s8 = eight.train(tinyConfig());
+    expectBitIdentical(s1, s4, *one.nets[0], *four.nets[0]);
+    expectBitIdentical(s1, s8, *one.nets[0], *eight.nets[0]);
+    EXPECT_EQ(s1.threads, 1);
+    EXPECT_EQ(s8.threads, 8);
+}
+
+TEST(Trainer, TrainingActuallyLearns)
+{
+    TinyProblem p(24);
+    TinyRig rig(p, 2);
+    auto cfg = tinyConfig(/*epochs=*/60, /*batch=*/4);
+    cfg.opt.lr = 2e-2f;
+    auto stats = rig.train(cfg);
+    ASSERT_EQ(stats.epochLoss.size(), 60u);
+    EXPECT_LT(stats.epochLoss.back(), 0.25 * stats.epochLoss.front());
+}
+
+TEST(Trainer, PartialFinalBatchStepCount)
+{
+    TinyProblem p(7);
+    TinyRig rig(p, 3);
+    auto stats = rig.train(tinyConfig(/*epochs=*/2, /*batch=*/3));
+    // ceil(7/3) = 3 optimizer steps per epoch.
+    EXPECT_EQ(stats.steps, 6);
+    EXPECT_EQ(stats.samples, 14);
+}
+
+TEST(Trainer, BatchLargerThanCorpus)
+{
+    TinyProblem p(3);
+    TinyRig whole(p, 8); // more replicas than samples: extras stay idle
+    auto stats = whole.train(tinyConfig(/*epochs=*/2, /*batch=*/64));
+    EXPECT_EQ(stats.steps, 2); // one full-corpus step per epoch
+
+    TinyRig serial(p, 1);
+    auto ref = serial.train(tinyConfig(2, 64));
+    expectBitIdentical(ref, stats, *serial.nets[0], *whole.nets[0]);
+}
+
+TEST(Trainer, BatchOfOneMatchesPerSampleSgd)
+{
+    // batchSize=1 degenerates to the classic per-sample loop: one
+    // optimizer step per sample, mean scale 1.
+    TinyProblem p(5);
+    TinyRig rig(p, 4);
+    auto stats = rig.train(tinyConfig(/*epochs=*/2, /*batch=*/1));
+    EXPECT_EQ(stats.steps, 10);
+
+    TinyRig serial(p, 1);
+    auto ref = serial.train(tinyConfig(2, 1));
+    expectBitIdentical(ref, stats, *serial.nets[0], *rig.nets[0]);
+}
+
+TEST(Trainer, EmptyCorpusIsANoOp)
+{
+    TinyProblem p(0);
+    TinyRig rig(p, 2);
+    auto stats = rig.train(tinyConfig());
+    EXPECT_EQ(stats.steps, 0);
+    EXPECT_EQ(stats.samples, 0);
+    EXPECT_TRUE(stats.epochLoss.empty());
+}
+
+TEST(Trainer, RepeatedDrainAndTeardown)
+{
+    // Construct and destroy the worker pool many times in a row; under
+    // TSan this exercises start/dispatch/join/teardown interleavings.
+    TinyProblem p(6);
+    for (int round = 0; round < 8; ++round) {
+        TinyRig rig(p, 4);
+        auto stats = rig.train(tinyConfig(/*epochs=*/1, /*batch=*/2));
+        EXPECT_EQ(stats.steps, 3);
+    }
+}
+
+TEST(Trainer, ResolveTrainThreadsHonorsRequestAndFloor)
+{
+    EXPECT_EQ(harness::resolveTrainThreads(3), 3);
+    EXPECT_GE(harness::resolveTrainThreads(0), 1);
+    EXPECT_GE(harness::resolveTrainThreads(-5), 1);
+}
+
+TEST(Trainer, CostModelBitIdentical1v8)
+{
+    // The real thing: the full cost model (transformer encoder + digit
+    // heads, static+dynamic encodings) trained at 1 vs 8 threads must
+    // produce bit-identical epoch losses and parameters.
+    // Corpus and batch both >= 8 so the 8-thread run really fans out
+    // eight replicas (runEngine clamps threads to min(batch, corpus)).
+    synth::SynthConfig scfg;
+    scfg.numPrograms = 9;
+    scfg.seed = 31;
+    auto ds = synth::synthesize(scfg);
+    ASSERT_GE(ds.samples.size(), 8u);
+
+    auto mcfg = model::configForScale(model::ModelScale::Tiny);
+    mcfg.enc.maxSeq = 128;
+
+    harness::TrainConfig tcfg;
+    tcfg.epochs = 2;
+    tcfg.batchSize = 8;
+
+    model::CostModel m1(mcfg), m8(mcfg);
+    harness::TrainConfig c1 = tcfg, c8 = tcfg;
+    c1.trainThreads = 1;
+    c8.trainThreads = 8;
+    auto s1 = harness::trainCostModelUncached(m1, ds, c1);
+    auto s8 = harness::trainCostModelUncached(m8, ds, c8);
+    EXPECT_EQ(s1.threads, 1);
+    EXPECT_EQ(s8.threads, 8);
+
+    ASSERT_EQ(s1.epochLoss.size(), s8.epochLoss.size());
+    for (size_t e = 0; e < s1.epochLoss.size(); ++e)
+        EXPECT_EQ(s1.epochLoss[e], s8.epochLoss[e]) << "epoch " << e;
+    auto p1 = m1.parameters(), p8 = m8.parameters();
+    ASSERT_EQ(p1.size(), p8.size());
+    for (size_t i = 0; i < p1.size(); ++i)
+        for (size_t j = 0; j < p1[i]->value.size(); ++j)
+            ASSERT_EQ(p1[i]->value[j], p8[i]->value[j])
+                << "param " << i << "[" << j << "]";
+}
+
+TEST(Trainer, PairEncodingMatchesSeparateEncodes)
+{
+    // encodeForTraining shares segment tokenization between the two
+    // views; the result must be bitwise what two encode() calls give.
+    synth::SynthConfig scfg;
+    scfg.numPrograms = 4;
+    scfg.seed = 9;
+    auto ds = synth::synthesize(scfg);
+    model::CostModel m(model::configForScale(model::ModelScale::Tiny));
+    for (const auto& s : ds.samples) {
+        auto enc = model::encodeForTraining(
+            m, s.graph, s.hasData ? &s.data : nullptr, s.reasoning);
+        auto stat = m.encode(s.graph, nullptr, s.reasoning);
+        EXPECT_EQ(enc.stat.tokens, stat.tokens);
+        EXPECT_EQ(enc.hasDyn, s.hasData);
+        if (s.hasData) {
+            auto dyn = m.encode(s.graph, &s.data, s.reasoning);
+            EXPECT_EQ(enc.dyn.tokens, dyn.tokens);
+            EXPECT_EQ(enc.dyn.hasData, dyn.hasData);
+        }
+    }
+}
+
+} // namespace
