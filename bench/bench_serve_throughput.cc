@@ -11,12 +11,18 @@
  *   serve_throughput,rps_w<N>,<req/s with N workers>
  *   serve_throughput,p95_ms_w<N>,<p95 latency with N workers>
  *   serve_throughput,speedup_w<N>,<rps_wN / rps_w1>
+ *   serve_throughput,rps_b<B>,<req/s with micro-batch cap B, 2 workers>
+ *   serve_throughput,p95_ms_b<B>,<p95 latency with micro-batch cap B>
+ *   serve_throughput,speedup_b<B>,<rps_bB / rps_b1>
  *   serve_throughput,cached_rps,<req/s, cache enabled, repeat mix>
  *   serve_throughput,cache_hit_rate,<fraction in [0,1]>
  *
  * Multi-worker speedup tracks the machine's core count: on a 1-core
  * host the w4/w8 rows land near 1.0, on CI-class 4-vCPU hosts they
- * exceed the 1-worker baseline.
+ * exceed the 1-worker baseline. The batch sweep (batchMax 1/4/8 at a
+ * fixed worker count) isolates the batch-first forward instead: larger
+ * micro-batches mean fewer, bigger forwardPooledBatch calls per worker,
+ * so its speedup is visible even on one core.
  */
 
 #include <chrono>
@@ -171,6 +177,39 @@ main(int argc, char** argv)
     }
     std::printf("== worker scaling (cache disabled) ==\n");
     table.print();
+
+    // Phase 1.5 — micro-batch scaling at a fixed worker count: each
+    // pop of up to batchMax requests becomes ONE batched encoder
+    // forward + per-metric batched decode, so this sweep measures the
+    // batch-first forward path itself.
+    eval::Table btable({"batchMax", "req/s", "p95 (ms)", "speedup"});
+    double batchBaselineRps = 0;
+    for (int batchMax : {1, 4, 8}) {
+        serve::ServeConfig cfg;
+        cfg.workers = 2;
+        cfg.batchMax = batchMax;
+        cfg.cacheCapacity = 0;
+        RunResult r = runConfig(*model, cfg, queries, repeats, clients,
+                                /*blocking=*/false);
+        if (batchMax == 1)
+            batchBaselineRps = r.rps;
+        double speedup =
+            batchBaselineRps <= 0 ? 0 : r.rps / batchBaselineRps;
+        btable.addRow({std::to_string(batchMax),
+                       util::format("%.1f", r.rps),
+                       util::format("%.2f", r.p95Ms),
+                       util::format("%.2fx", speedup)});
+        bench::csv("serve_throughput",
+                   util::format("rps_b%d", batchMax).c_str(), r.rps);
+        bench::csv("serve_throughput",
+                   util::format("p95_ms_b%d", batchMax).c_str(), r.p95Ms);
+        if (batchMax > 1)
+            bench::csv("serve_throughput",
+                       util::format("speedup_b%d", batchMax).c_str(),
+                       speedup);
+    }
+    std::printf("== micro-batch scaling (2 workers, cache disabled) ==\n");
+    btable.print();
 
     // Phase 2 — repeat-heavy traffic with the cache on: after the first
     // pass every query is a repeat, so the hit rate climbs toward 1 and

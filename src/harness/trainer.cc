@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "nn/ops.h"
 #include "util/common.h"
 #include "util/rng.h"
 
@@ -130,8 +131,17 @@ trainMinibatch(const std::vector<nn::TensorPtr>& master,
     const int threads = static_cast<int>(replicas.size());
     const size_t batch = static_cast<size_t>(std::max(1, cfg.batchSize));
 
+    // Intra-batch mode: one batched graph per minibatch on the caller's
+    // thread (see TrainerConfig::intraBatch). Requires the batched loss
+    // to update the master parameters directly.
+    const bool intra = cfg.intraBatch && bool(replicas.front().batchLoss);
+    if (intra)
+        for (size_t i = 0; i < master.size(); ++i)
+            LLM_CHECK(replicas.front().params[i] == master[i],
+                      "intra-batch mode needs replica 0 to alias master");
+
     TrainStats stats;
-    stats.threads = threads;
+    stats.threads = intra ? 1 : threads;
     if (num_samples == 0)
         return stats;
 
@@ -147,13 +157,33 @@ trainMinibatch(const std::vector<nn::TensorPtr>& master,
     std::vector<nn::GradBuffer> slots(std::min(batch, num_samples));
     std::vector<double> slotLoss(slots.size(), 0.0);
 
-    WorkerPool pool(threads);
+    WorkerPool pool(intra ? 1 : threads);
 
     for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
         rng.shuffle(order);
         double lossSum = 0.0;
         for (size_t start = 0; start < num_samples; start += batch) {
             const size_t nb = std::min(batch, num_samples - start);
+            const float inv = 1.f / static_cast<float>(nb);
+
+            if (intra) {
+                // One batch-first graph, one backward, one step: the
+                // mean-loss scale node distributes inv into every
+                // sample's gradient, preserving mean-gradient
+                // semantics.
+                std::vector<size_t> idx(order.begin() + start,
+                                        order.begin() + start + nb);
+                nn::clearGrads(master);
+                BatchLossResult bl = replicas.front().batchLoss(idx);
+                nn::TensorPtr mean = nn::scale(bl.total, inv);
+                mean->backward();
+                opt.step();
+                for (double l : bl.sampleLoss)
+                    lossSum += l;
+                ++stats.steps;
+                stats.samples += static_cast<long>(nb);
+                continue;
+            }
 
             // Fork: each worker syncs its replica to the master weights,
             // then owns batch positions worker, worker+T, worker+2T, ...
@@ -175,7 +205,6 @@ trainMinibatch(const std::vector<nn::TensorPtr>& master,
             // Join + deterministic reduce: mean of per-sample gradients,
             // summed in batch-position order, then one optimizer step.
             opt.zeroGrad();
-            const float inv = 1.f / static_cast<float>(nb);
             for (size_t p = 0; p < nb; ++p) {
                 slots[p].addTo(master, inv);
                 lossSum += slotLoss[p];

@@ -121,6 +121,9 @@ std::vector<float>
 InferenceSession::forwardPooled(const EncodedProgram& ep, const Layout& lay,
                                 bool partial)
 {
+    // NOTE: forwardPooledBatch() is the cache-free batched twin of this
+    // function; keep every per-row float operation in lockstep (see the
+    // note there).
     const nn::TransformerEncoder& enc = model_.encoder();
     const int n = lay.n;
     const int d = enc.cfg.dim;
@@ -283,6 +286,165 @@ InferenceSession::forwardPooled(const EncodedProgram& ep, const Layout& lay,
     for (int j = 0; j < d; ++j)
         pooled[j] /= n;
     return pooled;
+}
+
+nn::TensorPtr
+InferenceSession::forwardPooledBatch(
+    const std::vector<const EncodedProgram*>& eps)
+{
+    // NOTE: this is the batched twin of forwardPooled() below, minus
+    // the prefix-cache reuse logic. The two must stay in bitwise
+    // lockstep per row (same kernels, same per-row op order, same
+    // -1e30f mask and w < 1e-9f skip) — any numeric change here must
+    // be mirrored there and vice versa. The contract is pinned by
+    // tests/test_nn_batch.cc (InferenceSessionBatch) and
+    // tests/test_serve.cc.
+    LLM_CHECK(!eps.empty(), "forwardPooledBatch with no encodings");
+    const nn::TransformerEncoder& enc = model_.encoder();
+    const int B = static_cast<int>(eps.size());
+    const int d = enc.cfg.dim;
+    const int heads = enc.cfg.heads;
+    const int hd = d / heads;
+    const int ffn = enc.cfg.ffn;
+    const int layers = static_cast<int>(enc.blocks.size());
+
+    // Ragged stacking: sequence b owns rows [off[b], off[b+1]) of every
+    // stacked activation buffer. No padding — the fast path has no
+    // fixed-shape tensors to satisfy, so padded rows would be pure waste.
+    std::vector<Layout> lays;
+    std::vector<int> off(B + 1, 0);
+    lays.reserve(eps.size());
+    for (int b = 0; b < B; ++b) {
+        lays.push_back(computeLayout(*eps[b]));
+        off[b + 1] = off[b] + lays[b].n;
+    }
+    const int total = off[B];
+
+    // ---- Embedding + positions, all rows ----
+    std::vector<float> h(size_t(total) * d);
+    const nn::Tensor& table = *enc.tok->table;
+    const nn::Tensor& pos = *enc.pos;
+    for (int b = 0; b < B; ++b) {
+        for (int i = 0; i < lays[b].n; ++i) {
+            float* row = h.data() + size_t(off[b] + i) * d;
+            const float* te =
+                table.value.data() + size_t(eps[b]->tokens[i]) * d;
+            const float* pe =
+                pos.value.data() + size_t(i % enc.cfg.maxSeq) * d;
+            for (int j = 0; j < d; ++j)
+                row[j] = te[j] + pe[j];
+        }
+    }
+    stats_.rowsComputed += total;
+
+    std::vector<float> ln(size_t(total) * d), q(size_t(total) * d),
+        k(size_t(total) * d), v(size_t(total) * d), ctx(size_t(total) * d),
+        scratch(std::max(d, ffn));
+    std::vector<float> f_in(d), f_mid(ffn);
+    float inv_sqrt = 1.f / std::sqrt(static_cast<float>(hd));
+
+    for (int l = 0; l < layers; ++l) {
+        const nn::TransformerBlock& blk = *enc.blocks[l];
+
+        // Stage 1 — LN1 + Q/K/V projections across the whole batch: the
+        // projection weights stream through cache once per stage instead
+        // of once per sequence.
+        for (int r = 0; r < total; ++r) {
+            float* lrow = ln.data() + size_t(r) * d;
+            layerNormRow(h.data() + size_t(r) * d, *blk.ln1->gamma,
+                         *blk.ln1->beta, lrow, d);
+            linearRow(lrow, *blk.attn->wq->weight, *blk.attn->wq->bias,
+                      q.data() + size_t(r) * d);
+            linearRow(lrow, *blk.attn->wk->weight, *blk.attn->wk->bias,
+                      k.data() + size_t(r) * d);
+            linearRow(lrow, *blk.attn->wv->weight, *blk.attn->wv->bias,
+                      v.data() + size_t(r) * d);
+        }
+
+        // Stage 2 — attention + FFN, per sequence block (scores never
+        // cross a block boundary).
+        for (int b = 0; b < B; ++b) {
+            const Layout& lay = lays[b];
+            const int n = lay.n;
+            const float* kb = k.data() + size_t(off[b]) * d;
+            const float* vb = v.data() + size_t(off[b]) * d;
+            std::vector<float> scores(n);
+            for (int i = 0; i < n; ++i) {
+                float* hrow = h.data() + size_t(off[b] + i) * d;
+                float* crow = ctx.data() + size_t(off[b] + i) * d;
+                for (int hh = 0; hh < heads; ++hh) {
+                    const float* qh =
+                        q.data() + size_t(off[b] + i) * d + hh * hd;
+                    float mx = -1e30f;
+                    for (int jj = 0; jj < n; ++jj) {
+                        if (blocked(lay, i, jj)) {
+                            scores[jj] = -1e30f;
+                            continue;
+                        }
+                        const float* kh = kb + size_t(jj) * d + hh * hd;
+                        float s = 0.f;
+                        for (int x = 0; x < hd; ++x)
+                            s += qh[x] * kh[x];
+                        s *= inv_sqrt;
+                        scores[jj] = s;
+                        mx = std::max(mx, s);
+                    }
+                    float sum = 0.f;
+                    for (int jj = 0; jj < n; ++jj) {
+                        scores[jj] = std::exp(scores[jj] - mx);
+                        sum += scores[jj];
+                    }
+                    float invs = 1.f / sum;
+                    float* out = crow + hh * hd;
+                    for (int x = 0; x < hd; ++x)
+                        out[x] = 0.f;
+                    for (int jj = 0; jj < n; ++jj) {
+                        float w = scores[jj] * invs;
+                        if (w < 1e-9f)
+                            continue;
+                        const float* vh = vb + size_t(jj) * d + hh * hd;
+                        for (int x = 0; x < hd; ++x)
+                            out[x] += w * vh[x];
+                    }
+                }
+                // Output projection + residual.
+                linearRow(crow, *blk.attn->wo->weight, *blk.attn->wo->bias,
+                          scratch.data());
+                for (int x = 0; x < d; ++x)
+                    hrow[x] += scratch[x];
+
+                // FFN with pre-LN + residual.
+                layerNormRow(hrow, *blk.ln2->gamma, *blk.ln2->beta,
+                             f_in.data(), d);
+                linearRow(f_in.data(), *blk.ff1->weight, *blk.ff1->bias,
+                          f_mid.data());
+                for (int x = 0; x < ffn; ++x)
+                    f_mid[x] = geluScalar(f_mid[x]);
+                linearRow(f_mid.data(), *blk.ff2->weight, *blk.ff2->bias,
+                          scratch.data());
+                for (int x = 0; x < d; ++x)
+                    hrow[x] += scratch[x];
+            }
+        }
+    }
+
+    // Final LN + per-sequence mean pool.
+    auto out = nn::Tensor::zeros(B, d);
+    std::vector<float> lrow(d);
+    for (int b = 0; b < B; ++b) {
+        float* prow = out->value.data() + size_t(b) * d;
+        for (int i = 0; i < lays[b].n; ++i) {
+            layerNormRow(h.data() + size_t(off[b] + i) * d,
+                         *enc.lnFinal->gamma, *enc.lnFinal->beta,
+                         lrow.data(), d);
+            for (int j = 0; j < d; ++j)
+                prow[j] += lrow[j];
+        }
+        for (int j = 0; j < d; ++j)
+            prow[j] /= lays[b].n;
+    }
+    stats_.fullForwards += B;
+    return out;
 }
 
 nn::TensorPtr

@@ -83,6 +83,19 @@ class InferenceSession
      */
     nn::TensorPtr pooled(const EncodedProgram& ep, bool use_cache);
 
+    /**
+     * Batched autograd-free pooled forward: one pass over B encodings,
+     * returning pooled rows [B, dim]. Row i is bit-identical to
+     * pooled(*eps[i], use_cache=false) — sequences never interact,
+     * and every row runs the exact per-row float-op sequence of the
+     * sequential fast path. The prefix cache is neither consulted nor
+     * re-primed (batch traffic has no single "previous" program), so
+     * interleaving batched and cached calls is safe. This is the
+     * serving workers' per-micro-batch entry point.
+     */
+    nn::TensorPtr
+    forwardPooledBatch(const std::vector<const EncodedProgram*>& eps);
+
     /** Drop the cached prefix (e.g. after a weight update). */
     void invalidate() { cacheValid_ = false; }
 

@@ -1,0 +1,82 @@
+#include "nn/batch.h"
+
+#include <algorithm>
+
+#include "util/common.h"
+
+namespace llmulator {
+namespace nn {
+
+PaddedBatch
+PaddedBatch::pack(const std::vector<std::vector<int>>& seqs,
+                  const std::vector<TensorPtr>& seq_masks, int max_seq_cap,
+                  int pad_id)
+{
+    LLM_CHECK(!seqs.empty(), "PaddedBatch::pack with no sequences");
+    LLM_CHECK(seq_masks.empty() || seq_masks.size() == seqs.size(),
+              "PaddedBatch::pack mask count " << seq_masks.size()
+                                              << " != " << seqs.size());
+    PaddedBatch pb;
+    pb.batch = static_cast<int>(seqs.size());
+    pb.padId = pad_id;
+    pb.lengths.reserve(seqs.size());
+    for (const auto& s : seqs) {
+        int len = std::min<int>(static_cast<int>(s.size()), max_seq_cap);
+        LLM_CHECK(len > 0, "PaddedBatch::pack empty sequence");
+        pb.lengths.push_back(len);
+        pb.maxSeq = std::max(pb.maxSeq, len);
+    }
+
+    pb.tokens.assign(size_t(pb.batch) * pb.maxSeq, pad_id);
+    pb.rowMasks.assign(pb.batch, nullptr);
+    for (int b = 0; b < pb.batch; ++b) {
+        int len = pb.lengths[b];
+        std::copy(seqs[b].begin(), seqs[b].begin() + len,
+                  pb.tokens.begin() + size_t(b) * pb.maxSeq);
+
+        TensorPtr ctl = seq_masks.empty() ? nullptr : seq_masks[b];
+        if (ctl) {
+            LLM_CHECK(ctl->rows == len && ctl->cols == len,
+                      "PaddedBatch::pack mask shape " << ctl->rows << "x"
+                                                      << ctl->cols
+                                                      << " != len " << len);
+        }
+        if (len == pb.maxSeq) {
+            // No padding: reuse the caller's mask tensor (or none) so the
+            // B=1 graph matches the historical single-sequence graph.
+            pb.rowMasks[b] = ctl;
+            continue;
+        }
+        // Compose control-flow mask (top-left [len,len]) with the padding
+        // mask: every padded key column is blocked for every query row.
+        // Padded query rows still attend to real keys (their outputs are
+        // garbage but finite, and pooling never reads them).
+        auto mask = Tensor::zeros(pb.maxSeq, pb.maxSeq);
+        for (int i = 0; i < pb.maxSeq; ++i) {
+            float* mrow = mask->value.data() + size_t(i) * pb.maxSeq;
+            if (ctl && i < len) {
+                const float* crow = ctl->value.data() + size_t(i) * len;
+                std::copy(crow, crow + len, mrow);
+            }
+            for (int j = len; j < pb.maxSeq; ++j)
+                mrow[j] = kMaskNegInf;
+        }
+        pb.rowMasks[b] = mask;
+    }
+    return pb;
+}
+
+PaddedBatch
+PaddedBatch::viewOfOne(int seq_len, const TensorPtr& add_mask)
+{
+    LLM_CHECK(seq_len > 0, "PaddedBatch::viewOfOne empty sequence");
+    PaddedBatch pb;
+    pb.batch = 1;
+    pb.maxSeq = seq_len;
+    pb.lengths = {seq_len};
+    pb.rowMasks = {add_mask};
+    return pb;
+}
+
+} // namespace nn
+} // namespace llmulator

@@ -1,0 +1,90 @@
+#ifndef LLMULATOR_NN_BATCH_H
+#define LLMULATOR_NN_BATCH_H
+
+/**
+ * @file
+ * Batch-first forward substrate: PaddedBatch packs B token sequences into
+ * one [B, maxSeq] padded layout whose hidden states flow through the
+ * encoder as a single stacked [B*maxSeq, dim] tensor.
+ *
+ * Contract (pinned by tests/test_nn_batch.cc): every batched forward is
+ * bit-identical to the corresponding B sequential forwards. The layout
+ * makes that cheap to guarantee:
+ *  - row-wise ops (Linear, LayerNorm, GELU, FFN) are independent per row,
+ *    so stacking rows cannot change any row's float-op sequence;
+ *  - attention is evaluated per sequence block, so no cross-sequence math
+ *    exists at all;
+ *  - padding key columns carry a -1e9 additive mask, which drives their
+ *    softmax weight to exactly +0.0f — contributing literal no-op adds —
+ *    and padded rows are excluded from length-aware mean pooling
+ *    (blockMeanRows), so padding can never leak into real outputs.
+ *
+ * The per-row additive masks compose the caller's control-flow separation
+ * mask (paper Section 5.2, built in model/input.h) with the padding mask;
+ * rows that need neither keep a null mask and skip the add entirely,
+ * matching the single-sequence path.
+ */
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace llmulator {
+namespace nn {
+
+/** Additive mask value that zeroes attention after softmax. */
+constexpr float kMaskNegInf = -1e9f;
+
+/**
+ * B token sequences padded to a common per-row length. Blocks are stored
+ * consecutively: sequence b owns rows [b*maxSeq, (b+1)*maxSeq) of any
+ * stacked hidden-state tensor.
+ *
+ * Attention-level batched entry points only read batch/maxSeq/lengths/
+ * rowMasks, so a PaddedBatch with empty tokens is a valid "batch view"
+ * for pre-embedded inputs (the single-sequence forward wrappers use
+ * this).
+ */
+struct PaddedBatch
+{
+    int batch = 0;            //!< B
+    int maxSeq = 0;           //!< padded per-row length
+    int padId = 0;            //!< token id used for padding positions
+    std::vector<int> tokens;  //!< [batch*maxSeq], block-major
+    std::vector<int> lengths; //!< true (unpadded) length per row
+    /**
+     * Per-row additive attention mask [maxSeq, maxSeq] (0 = attend,
+     * kMaskNegInf = blocked), or null when row b needs no masking. Rows
+     * shorter than maxSeq always carry one (the padding columns).
+     */
+    std::vector<TensorPtr> rowMasks;
+
+    /** Rows of the stacked hidden-state tensor. */
+    int rows() const { return batch * maxSeq; }
+
+    /**
+     * Pack sequences (each truncated to max_seq_cap) into a padded
+     * batch. seq_masks may be empty, or hold one entry per sequence: an
+     * additive [len, len] mask (e.g. the Section 5.2 separation mask)
+     * or null. Padding columns are composed in with kMaskNegInf; a
+     * full-length row with a caller mask reuses that tensor unchanged
+     * (no copy), keeping the B=1 wrapper graph byte-for-byte equal to
+     * the historical single-sequence graph.
+     */
+    static PaddedBatch pack(const std::vector<std::vector<int>>& seqs,
+                            const std::vector<TensorPtr>& seq_masks,
+                            int max_seq_cap, int pad_id = 0);
+
+    /**
+     * Attention-only batch view over one pre-embedded sequence of
+     * `seq_len` rows with an optional caller mask (no tokens, no
+     * padding) — the bridge that lets the single-sequence layer
+     * forwards delegate to the batched implementations.
+     */
+    static PaddedBatch viewOfOne(int seq_len, const TensorPtr& add_mask);
+};
+
+} // namespace nn
+} // namespace llmulator
+
+#endif // LLMULATOR_NN_BATCH_H

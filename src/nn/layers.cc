@@ -76,6 +76,13 @@ Embedding::forward(const std::vector<int>& ids) const
     return embedRows(table, ids);
 }
 
+TensorPtr
+Embedding::forwardBatch(const PaddedBatch& pb) const
+{
+    LLM_CHECK(!pb.tokens.empty(), "forwardBatch on a tokenless batch view");
+    return embedRows(table, pb.tokens);
+}
+
 std::vector<TensorPtr>
 Embedding::parameters() const
 {
@@ -115,24 +122,50 @@ TensorPtr
 MultiHeadSelfAttention::forward(const TensorPtr& x,
                                 const TensorPtr& add_mask) const
 {
+    return forwardBatch(x, PaddedBatch::viewOfOne(x->rows, add_mask));
+}
+
+TensorPtr
+MultiHeadSelfAttention::forwardBatch(const TensorPtr& x,
+                                     const PaddedBatch& pb) const
+{
+    LLM_CHECK(x->rows == pb.rows() && x->cols == dim,
+              "attention batch shape " << x->rows << "x" << x->cols);
+    // Whole-batch projections: one GEMM each over all B*maxSeq rows.
     TensorPtr q = wq->forward(x);
     TensorPtr k = wk->forward(x);
     TensorPtr v = wv->forward(x);
     float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(headDim));
 
-    TensorPtr ctx; // concatenated head outputs
-    for (int h = 0; h < heads; ++h) {
-        TensorPtr qh = sliceCols(q, h * headDim, headDim);
-        TensorPtr kh = sliceCols(k, h * headDim, headDim);
-        TensorPtr vh = sliceCols(v, h * headDim, headDim);
-        TensorPtr scores = scale(matmul(qh, transpose(kh)), inv_sqrt);
-        if (add_mask)
-            scores = add(scores, add_mask);
-        TensorPtr probs = softmaxRows(scores);
-        TensorPtr head_out = matmul(probs, vh);
-        ctx = ctx ? concatCols(ctx, head_out) : head_out;
+    std::vector<TensorPtr> ctxParts;
+    ctxParts.reserve(pb.batch);
+    for (int b = 0; b < pb.batch; ++b) {
+        // Scores stay within the sequence block: queries of sequence b
+        // only ever meet keys/values of sequence b.
+        TensorPtr qb = q, kb = k, vb = v;
+        if (pb.batch > 1) {
+            qb = sliceRows(q, b * pb.maxSeq, pb.maxSeq);
+            kb = sliceRows(k, b * pb.maxSeq, pb.maxSeq);
+            vb = sliceRows(v, b * pb.maxSeq, pb.maxSeq);
+        }
+        const TensorPtr& add_mask = pb.rowMasks[b];
+        TensorPtr ctx; // concatenated head outputs for this sequence
+        for (int h = 0; h < heads; ++h) {
+            TensorPtr qh = sliceCols(qb, h * headDim, headDim);
+            TensorPtr kh = sliceCols(kb, h * headDim, headDim);
+            TensorPtr vh = sliceCols(vb, h * headDim, headDim);
+            TensorPtr scores = scale(matmul(qh, transpose(kh)), inv_sqrt);
+            if (add_mask)
+                scores = add(scores, add_mask);
+            TensorPtr probs = softmaxRows(scores);
+            TensorPtr head_out = matmul(probs, vh);
+            ctx = ctx ? concatCols(ctx, head_out) : head_out;
+        }
+        ctxParts.push_back(std::move(ctx));
     }
-    return wo->forward(ctx);
+    TensorPtr ctxAll =
+        pb.batch == 1 ? ctxParts.front() : concatRows(ctxParts);
+    return wo->forward(ctxAll);
 }
 
 std::vector<TensorPtr>
@@ -158,7 +191,16 @@ TransformerBlock::TransformerBlock(int dim, int heads, int ffn,
 TensorPtr
 TransformerBlock::forward(const TensorPtr& x, const TensorPtr& add_mask) const
 {
-    TensorPtr h = add(x, attn->forward(ln1->forward(x), add_mask));
+    return forwardBatch(x, PaddedBatch::viewOfOne(x->rows, add_mask));
+}
+
+TensorPtr
+TransformerBlock::forwardBatch(const TensorPtr& x,
+                               const PaddedBatch& pb) const
+{
+    // LayerNorm and the FFN are row-wise, so only the attention needs
+    // the batch structure.
+    TensorPtr h = add(x, attn->forwardBatch(ln1->forward(x), pb));
     TensorPtr f = ff2->forward(gelu(ff1->forward(ln2->forward(h))));
     return add(h, f);
 }
@@ -199,20 +241,26 @@ TensorPtr
 TransformerEncoder::forward(const std::vector<int>& ids,
                             const TensorPtr& add_mask) const
 {
-    std::vector<int> trimmed = ids;
-    if (static_cast<int>(trimmed.size()) > cfg.maxSeq)
-        trimmed.resize(cfg.maxSeq);
-    LLM_CHECK(!trimmed.empty(), "empty token sequence");
+    return forwardBatch(PaddedBatch::pack({ids}, {add_mask}, cfg.maxSeq));
+}
 
-    TensorPtr x = tok->forward(trimmed);
-    // Add learned positional embeddings for the first seq rows.
-    std::vector<int> pos_ids(trimmed.size());
-    for (size_t i = 0; i < trimmed.size(); ++i)
-        pos_ids[i] = static_cast<int>(i);
+TensorPtr
+TransformerEncoder::forwardBatch(const PaddedBatch& pb) const
+{
+    LLM_CHECK(!pb.tokens.empty(), "forwardBatch on a tokenless batch view");
+    LLM_CHECK(pb.maxSeq <= cfg.maxSeq,
+              "batch maxSeq " << pb.maxSeq << " > encoder " << cfg.maxSeq);
+
+    TensorPtr x = tok->forwardBatch(pb);
+    // Learned positional embeddings restart at 0 in every block.
+    std::vector<int> pos_ids(pb.rows());
+    for (int b = 0; b < pb.batch; ++b)
+        for (int i = 0; i < pb.maxSeq; ++i)
+            pos_ids[size_t(b) * pb.maxSeq + i] = i;
     x = add(x, embedRows(pos, pos_ids));
 
-    for (const auto& b : blocks)
-        x = b->forward(x, add_mask);
+    for (const auto& blk : blocks)
+        x = blk->forwardBatch(x, pb);
     return lnFinal->forward(x);
 }
 
@@ -220,6 +268,13 @@ TensorPtr
 TransformerEncoder::pooled(const TensorPtr& hidden)
 {
     return meanRows(hidden);
+}
+
+TensorPtr
+TransformerEncoder::pooledBatch(const TensorPtr& hidden,
+                                const PaddedBatch& pb)
+{
+    return blockMeanRows(hidden, pb.batch, pb.maxSeq, pb.lengths);
 }
 
 std::vector<TensorPtr>

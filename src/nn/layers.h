@@ -10,12 +10,19 @@
  * dynamic control-flow separation of LLMulator (paper Section 5.2) is
  * injected: masked (Class-I-operator x data) interactions receive -inf
  * before the softmax so the attention weight is exactly zero.
+ *
+ * The forward API is batch-first: every layer exposes forwardBatch() over
+ * a PaddedBatch (hidden states stacked as [B*maxSeq, dim]), and the
+ * single-sequence forward() signatures are thin B=1 wrappers over it.
+ * forwardBatch() over B rows is bit-identical to B sequential forward()
+ * calls (see nn/batch.h for why the layout guarantees this).
  */
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "nn/batch.h"
 #include "nn/ops.h"
 #include "nn/tensor.h"
 #include "util/rng.h"
@@ -68,6 +75,10 @@ class Embedding : public Module
     Embedding(int vocab, int dim, util::Rng& rng);
 
     TensorPtr forward(const std::vector<int>& ids) const;
+
+    /** Stacked lookup over a padded batch: [batch*maxSeq, dim]. */
+    TensorPtr forwardBatch(const PaddedBatch& pb) const;
+
     std::vector<TensorPtr> parameters() const override;
 
     TensorPtr table; //!< [vocab, dim]
@@ -100,6 +111,15 @@ class MultiHeadSelfAttention : public Module
 
     TensorPtr forward(const TensorPtr& x,
                       const TensorPtr& add_mask = nullptr) const;
+
+    /**
+     * Batched attention over stacked hidden states x [B*maxSeq, dim].
+     * The Q/K/V/output projections run as single whole-batch GEMMs;
+     * score computation is per sequence block (never across blocks),
+     * each with its row's additive mask from the batch.
+     */
+    TensorPtr forwardBatch(const TensorPtr& x, const PaddedBatch& pb) const;
+
     std::vector<TensorPtr> parameters() const override;
 
     int dim;
@@ -116,6 +136,10 @@ class TransformerBlock : public Module
 
     TensorPtr forward(const TensorPtr& x,
                       const TensorPtr& add_mask = nullptr) const;
+
+    /** Batched block over stacked hidden states [B*maxSeq, dim]. */
+    TensorPtr forwardBatch(const TensorPtr& x, const PaddedBatch& pb) const;
+
     std::vector<TensorPtr> parameters() const override;
 
     std::unique_ptr<LayerNorm> ln1, ln2;
@@ -149,8 +173,23 @@ class TransformerEncoder : public Module
     TensorPtr forward(const std::vector<int>& ids,
                       const TensorPtr& add_mask = nullptr) const;
 
+    /**
+     * Batched hidden states [batch*maxSeq, dim] for a padded batch
+     * (pb.maxSeq must not exceed cfg.maxSeq). Row block b is
+     * bit-identical to forward(sequence b, its mask).
+     */
+    TensorPtr forwardBatch(const PaddedBatch& pb) const;
+
     /** Mean-pool hidden states into a [1, dim] summary vector. */
     static TensorPtr pooled(const TensorPtr& hidden);
+
+    /**
+     * Length-aware mean pooling of batched hidden states: [batch, dim],
+     * row b pooled over the first pb.lengths[b] rows of block b only —
+     * padding rows never contribute.
+     */
+    static TensorPtr pooledBatch(const TensorPtr& hidden,
+                                 const PaddedBatch& pb);
 
     std::vector<TensorPtr> parameters() const override;
 

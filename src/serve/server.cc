@@ -161,36 +161,77 @@ PredictionServer::processBatch(std::vector<Request>& batch,
         it->members.push_back(&req);
     }
 
-    for (Group& group : groups) {
-        // One autograd-free encoder forward shared across the group —
-        // bit-identical to running InferenceSession::predict() per
-        // request sequentially, since predict() is exactly this pooled
-        // forward + head decode and both are deterministic for equal
-        // inputs. The prefix-reuse cache stays off: its documented
-        // Class-I approximation would make results depend on request
-        // order, breaking the batched == sequential guarantee.
-        Request& first = *group.members.front();
-        auto ep = model_->encode(first.graph,
-                                 first.hasData ? &first.data : nullptr);
-        nn::TensorPtr pooled = session.pooled(ep, /*use_cache=*/false);
+    if (groups.empty())
+        return;
 
-        // One decode per distinct key; duplicate requests in the same
-        // batch reuse the freshly computed prediction.
-        std::vector<std::pair<ResultKey, model::NumericPrediction>> done;
-        for (Request* rp : group.members) {
-            auto dit = std::find_if(
-                done.begin(), done.end(),
-                [&](const auto& kv) { return kv.first == rp->key; });
-            if (dit != done.end()) {
-                fulfil(*rp, dit->second);
-                continue;
+    // ONE batched autograd-free encoder forward for the whole
+    // micro-batch: every distinct (program, input) contributes one row.
+    // Bit-identical to running InferenceSession::pooled() per group
+    // sequentially (forwardPooledBatch's contract), so batching changes
+    // throughput, never results. The prefix-reuse cache stays off: its
+    // documented Class-I approximation would make results depend on
+    // request order, breaking the batched == sequential guarantee.
+    std::vector<model::EncodedProgram> eps;
+    std::vector<const model::EncodedProgram*> epPtrs;
+    eps.reserve(groups.size());
+    epPtrs.reserve(groups.size());
+    for (Group& group : groups) {
+        Request& first = *group.members.front();
+        eps.push_back(model_->encode(first.graph,
+                                     first.hasData ? &first.data : nullptr));
+    }
+    for (const auto& ep : eps)
+        epPtrs.push_back(&ep);
+    nn::TensorPtr pooled = session.forwardPooledBatch(epPtrs);
+
+    // One decode per distinct key, bucketed by metric so every bucket
+    // shares a single batched beam-search decode; duplicate requests in
+    // the same batch reuse the freshly computed prediction.
+    struct Job
+    {
+        ResultKey key;
+        size_t groupIdx;
+        std::vector<Request*> requests;
+    };
+    std::vector<Job> jobs;
+    for (size_t gi = 0; gi < groups.size(); ++gi) {
+        for (Request* rp : groups[gi].members) {
+            auto jit = std::find_if(
+                jobs.begin(), jobs.end(),
+                [&](const Job& j) { return j.key == rp->key; });
+            if (jit == jobs.end()) {
+                jobs.push_back({rp->key, gi, {rp}});
+            } else {
+                jit->requests.push_back(rp);
             }
-            model::NumericPrediction pred =
-                model_->head(rp->metric).decode(pooled, cfg_.beamWidth);
-            modelCalls_.fetch_add(1, std::memory_order_relaxed);
-            cache_.put(rp->key, pred);
-            fulfil(*rp, pred);
-            done.emplace_back(rp->key, pred);
+        }
+    }
+
+    const int dim = pooled->cols;
+    for (int m = 0; m < model::kNumMetrics; ++m) {
+        std::vector<Job*> bucket;
+        for (Job& j : jobs)
+            if (j.key.metric == m)
+                bucket.push_back(&j);
+        if (bucket.empty())
+            continue;
+        // Gather the bucket's pooled rows (row copies preserve bits).
+        std::vector<float> rows(bucket.size() * size_t(dim));
+        for (size_t bi = 0; bi < bucket.size(); ++bi) {
+            const float* src =
+                pooled->value.data() + bucket[bi]->groupIdx * size_t(dim);
+            std::copy(src, src + dim, rows.begin() + bi * size_t(dim));
+        }
+        auto bucketPooled = nn::Tensor::fromData(
+            static_cast<int>(bucket.size()), dim, std::move(rows));
+        std::vector<model::NumericPrediction> preds =
+            model_->head(static_cast<model::Metric>(m))
+                .decodeBatch(bucketPooled, cfg_.beamWidth);
+        modelCalls_.fetch_add(preds.size(), std::memory_order_relaxed);
+        for (size_t bi = 0; bi < bucket.size(); ++bi) {
+            cache_.put(bucket[bi]->key, preds[bi]);
+            for (Request* rp : bucket[bi]->requests)
+                fulfil(*rp, preds[bi]);
         }
     }
 }

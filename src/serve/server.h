@@ -8,16 +8,17 @@
  *
  * A PredictionServer owns one trained CostModel and a pool of worker
  * threads behind a bounded MPMC request queue. Workers pop micro-batches
- * (up to `batchMax` requests, or whatever arrives within `batchTimeout`)
- * and group a batch's cache misses by (program hash, input hash) so one
- * encoder forward — by far the dominant cost — is shared by every metric
- * requested for the same (program, input). Each worker runs the
- * autograd-free InferenceSession full forward (paper Section 5.3's fast
- * path without its prefix-reuse approximation), so no training tape is
- * built on the serving path. Results are identical bit for bit to
- * running that same sequential fast path per request — grouping only
- * deduplicates work, it never changes the computation — and agree with
- * CostModel::predict() up to its documented fast/slow-path tolerance.
+ * (up to `batchMax` requests, or whatever arrives within `batchTimeout`),
+ * group a batch's cache misses by (program hash, input hash), and run ONE
+ * batched autograd-free encoder forward for the whole micro-batch
+ * (InferenceSession::forwardPooledBatch — paper Section 5.3's fast path
+ * without its prefix-reuse approximation), followed by one batched
+ * digit-head decode per requested metric. No training tape is built on
+ * the serving path. Results are identical bit for bit to running the
+ * sequential fast path per request — batching and grouping only share
+ * work, they never change any row's computation (the forwardPooledBatch
+ * / decodeBatch contracts) — and agree with CostModel::predict() up to
+ * its documented fast/slow-path tolerance.
  *
  * Finished predictions land in a sharded LRU ResultCache keyed by
  * (program DFIR hash, runtime-input hash, metric); repeated queries are

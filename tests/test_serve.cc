@@ -288,8 +288,14 @@ TEST(PredictionServer, ManyConcurrentClientThreads)
                     graphs[gi],
                     metric == model::Metric::Cycles ? &datas[gi] : nullptr,
                     metric);
+                // Full bitwise comparison: under concurrent clients the
+                // batched forward must still reproduce the sequential
+                // fast path exactly, probabilities and log-prob
+                // included — not just the decoded value.
                 if (pred.value != expected[gi][m].value ||
-                    pred.digits != expected[gi][m].digits)
+                    pred.digits != expected[gi][m].digits ||
+                    pred.digitProbs != expected[gi][m].digitProbs ||
+                    pred.logProb != expected[gi][m].logProb)
                     mismatches.fetch_add(1);
             }
         });
