@@ -1,0 +1,147 @@
+/**
+ * @file
+ * GFLOP/s microbenchmark of the three raw GEMM kernels behind the
+ * nn::Backend seam, swept over both registered backends and the shapes
+ * the cost-model stack actually runs:
+ *
+ *  - pooled [B*maxSeq, dim] x [dim, dim] Q/K/V/out projections
+ *    (dim 48 at batch 8, plus the [64,256]x[256,256] class from the
+ *    acceptance contract),
+ *  - attention scores [seq, headDim] x [headDim, seq] at headDim 12,
+ *  - the FFN pair [tokens, 48] x [48, 128] and [tokens, 128] x
+ *    [128, 48].
+ *
+ * CSV rows: nn_gemm,<variant>_m<m>_k<k>_n<n>_<backend>_gflops,<v> plus
+ * a `_speedup` row (vector over scalar) per variant/shape. Quick mode
+ * shortens the measured window, not the shape list.
+ */
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "harness/harness.h"
+#include "nn/backend.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace llmulator;
+using Clock = std::chrono::steady_clock;
+
+struct Shape
+{
+    int m, k, n;
+};
+
+const Shape kShapes[] = {
+    {64, 256, 256},  // acceptance-contract class
+    {1536, 48, 48},  // pooled projections, batch 8 x maxSeq 192
+    {192, 12, 192},  // attention scores, one sequence per head
+    {192, 48, 128},  // FFN expand
+    {192, 128, 48},  // FFN contract
+};
+
+std::vector<float>
+randVec(size_t n, util::Rng& rng)
+{
+    std::vector<float> v(n);
+    for (auto& x : v)
+        x = static_cast<float>(rng.normal(0.0, 1.0));
+    return v;
+}
+
+enum class Variant { Accum, AccumBt, AccumAt };
+
+const char*
+variantName(Variant v)
+{
+    switch (v) {
+      case Variant::Accum: return "accum";
+      case Variant::AccumBt: return "accum_bt";
+      case Variant::AccumAt: return "accum_at";
+    }
+    return "?";
+}
+
+/** Run one (kernel, shape) measurement; returns GFLOP/s. */
+double
+measure(const nn::Backend& be, Variant v, const Shape& s, double seconds)
+{
+    util::Rng rng(1234);
+    auto a = randVec(size_t(s.m) * s.k, rng);
+    auto b = randVec(size_t(s.k) * s.n, rng);
+    auto dc = randVec(size_t(s.m) * s.n, rng);
+    // The accumulators are re-zeroed between reps so values cannot
+    // drift to inf across thousands of accumulating calls; only the
+    // kernel call itself is timed, so the memset does not compress the
+    // reported ratio on low-arithmetic-intensity shapes.
+    std::vector<float> out;
+    auto runOnce = [&]() {
+        Clock::time_point t0, t1;
+        switch (v) {
+          case Variant::Accum:
+            out.assign(size_t(s.m) * s.n, 0.f);
+            t0 = Clock::now();
+            be.gemmAccum(a.data(), b.data(), out.data(), s.m, s.k, s.n);
+            t1 = Clock::now();
+            break;
+          case Variant::AccumBt:
+            out.assign(size_t(s.m) * s.k, 0.f);
+            t0 = Clock::now();
+            be.gemmAccumBt(dc.data(), b.data(), out.data(), s.m, s.k,
+                           s.n);
+            t1 = Clock::now();
+            break;
+          case Variant::AccumAt:
+            out.assign(size_t(s.k) * s.n, 0.f);
+            t0 = Clock::now();
+            be.gemmAccumAt(a.data(), dc.data(), out.data(), s.m, s.k,
+                           s.n);
+            t1 = Clock::now();
+            break;
+        }
+        return std::chrono::duration<double>(t1 - t0).count();
+    };
+    runOnce(); // warm-up: faults the buffers, primes the clone dispatch
+    double flops = 2.0 * s.m * s.k * s.n;
+    long reps = 0;
+    double in_kernel = 0.0;
+    do {
+        in_kernel += runOnce();
+        ++reps;
+    } while (in_kernel < seconds);
+    return flops * reps / in_kernel / 1e9;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bench::parseArgs(argc, argv);
+    const double seconds = harness::smokeMode() ? 0.02 : 0.25;
+
+    std::printf("%-10s %-18s %12s %12s %9s\n", "variant", "shape",
+                "scalar GF/s", "vector GF/s", "speedup");
+    for (auto v : {Variant::Accum, Variant::AccumBt, Variant::AccumAt}) {
+        for (const auto& s : kShapes) {
+            double sc =
+                measure(nn::scalarBackend(), v, s, seconds);
+            double ve =
+                measure(nn::vectorBackend(), v, s, seconds);
+            std::string shape = util::format("m%d_k%d_n%d", s.m, s.k, s.n);
+            std::printf("%-10s %-18s %12.2f %12.2f %8.2fx\n",
+                        variantName(v), shape.c_str(), sc, ve, ve / sc);
+            std::string base =
+                util::format("%s_%s", variantName(v), shape.c_str());
+            bench::csv("nn_gemm", (base + "_scalar_gflops").c_str(), sc);
+            bench::csv("nn_gemm", (base + "_vector_gflops").c_str(), ve);
+            bench::csv("nn_gemm", (base + "_speedup").c_str(), ve / sc);
+        }
+    }
+    return 0;
+}

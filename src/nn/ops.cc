@@ -2,65 +2,19 @@
 
 #include <cmath>
 
+#include "nn/backend.h"
+#include "nn/kernels.h" // kGeluC/kGeluA, shared with the backend kernels
 #include "util/common.h"
 
 namespace llmulator {
 namespace nn {
 
+// The raw hot kernels (three GEMM variants, fused row-wise primitives,
+// elementwise loops) live behind the pluggable nn::Backend dispatch
+// table — see backend.h for the bit-identity and finite-input
+// contracts, kernels_scalar.cc for the reference implementations.
+
 namespace {
-
-/** C[m,n] += A[m,k] * B[k,n], raw row-major kernel (ikj order). */
-void
-gemmAccum(const float* a, const float* b, float* c, int m, int k, int n)
-{
-    for (int i = 0; i < m; ++i) {
-        const float* arow = a + size_t(i) * k;
-        float* crow = c + size_t(i) * n;
-        for (int p = 0; p < k; ++p) {
-            float av = arow[p];
-            if (av == 0.f)
-                continue;
-            const float* brow = b + size_t(p) * n;
-            for (int j = 0; j < n; ++j)
-                crow[j] += av * brow[j];
-        }
-    }
-}
-
-/** C[m,k] += dC[m,n] * B^T, i.e. C[i,p] += sum_j dC[i,j] * B[p,j]. */
-void
-gemmAccumBt(const float* dc, const float* b, float* out, int m, int k, int n)
-{
-    for (int i = 0; i < m; ++i) {
-        const float* drow = dc + size_t(i) * n;
-        float* orow = out + size_t(i) * k;
-        for (int p = 0; p < k; ++p) {
-            const float* brow = b + size_t(p) * n;
-            float s = 0.f;
-            for (int j = 0; j < n; ++j)
-                s += drow[j] * brow[j];
-            orow[p] += s;
-        }
-    }
-}
-
-/** dB[k,n] += A^T * dC, i.e. dB[p,j] += sum_i A[i,p] * dC[i,j]. */
-void
-gemmAccumAt(const float* a, const float* dc, float* out, int m, int k, int n)
-{
-    for (int i = 0; i < m; ++i) {
-        const float* arow = a + size_t(i) * k;
-        const float* drow = dc + size_t(i) * n;
-        for (int p = 0; p < k; ++p) {
-            float av = arow[p];
-            if (av == 0.f)
-                continue;
-            float* orow = out + size_t(p) * n;
-            for (int j = 0; j < n; ++j)
-                orow[j] += av * drow[j];
-        }
-    }
-}
 
 bool
 anyRequiresGrad(const TensorPtr& a)
@@ -83,8 +37,8 @@ matmul(const TensorPtr& a, const TensorPtr& b)
               "matmul shape mismatch " << a->rows << "x" << a->cols << " * "
                                        << b->rows << "x" << b->cols);
     auto out = Tensor::zeros(a->rows, b->cols);
-    gemmAccum(a->value.data(), b->value.data(), out->value.data(), a->rows,
-              a->cols, b->cols);
+    backend().gemmAccum(a->value.data(), b->value.data(),
+                        out->value.data(), a->rows, a->cols, b->cols);
     if (anyRequiresGrad(a, b)) {
         out->requiresGrad = true;
         out->parents = {a, b};
@@ -93,13 +47,13 @@ matmul(const TensorPtr& a, const TensorPtr& b)
             int m = a->rows, k = a->cols, n = b->cols;
             if (a->requiresGrad) {
                 a->ensureGrad();
-                gemmAccumBt(self->grad.data(), b->value.data(),
-                            a->grad.data(), m, k, n);
+                backend().gemmAccumBt(self->grad.data(), b->value.data(),
+                                      a->grad.data(), m, k, n);
             }
             if (b->requiresGrad) {
                 b->ensureGrad();
-                gemmAccumAt(a->value.data(), self->grad.data(),
-                            b->grad.data(), m, k, n);
+                backend().gemmAccumAt(a->value.data(), self->grad.data(),
+                                      b->grad.data(), m, k, n);
             }
         };
     }
@@ -140,12 +94,17 @@ binaryElem(const TensorPtr& a, const TensorPtr& b, BinKind kind)
               "elementwise shape mismatch");
     auto out = Tensor::zeros(a->rows, a->cols);
     size_t n = out->value.size();
-    for (size_t i = 0; i < n; ++i) {
-        switch (kind) {
-          case BinKind::Add: out->value[i] = a->value[i] + b->value[i]; break;
-          case BinKind::Sub: out->value[i] = a->value[i] - b->value[i]; break;
-          case BinKind::Mul: out->value[i] = a->value[i] * b->value[i]; break;
-        }
+    const Backend& be = backend();
+    switch (kind) {
+      case BinKind::Add:
+        be.addElem(a->value.data(), b->value.data(), out->value.data(), n);
+        break;
+      case BinKind::Sub:
+        be.subElem(a->value.data(), b->value.data(), out->value.data(), n);
+        break;
+      case BinKind::Mul:
+        be.mulElem(a->value.data(), b->value.data(), out->value.data(), n);
+        break;
     }
     if (anyRequiresGrad(a, b)) {
         out->requiresGrad = true;
@@ -203,9 +162,13 @@ addRow(const TensorPtr& x, const TensorPtr& b)
 {
     LLM_CHECK(b->rows == 1 && b->cols == x->cols, "addRow shape mismatch");
     auto out = Tensor::zeros(x->rows, x->cols);
-    for (int i = 0; i < x->rows; ++i)
-        for (int j = 0; j < x->cols; ++j)
-            out->at(i, j) = x->at(i, j) + b->value[j];
+    {
+        const Backend& be = backend();
+        for (int i = 0; i < x->rows; ++i)
+            be.addElem(x->value.data() + size_t(i) * x->cols,
+                       b->value.data(),
+                       out->value.data() + size_t(i) * x->cols, x->cols);
+    }
     if (anyRequiresGrad(x, b)) {
         out->requiresGrad = true;
         out->parents = {x, b};
@@ -213,8 +176,8 @@ addRow(const TensorPtr& x, const TensorPtr& b)
         out->backwardFn = [self, x, b]() {
             if (x->requiresGrad) {
                 x->ensureGrad();
-                for (size_t i = 0; i < x->grad.size(); ++i)
-                    x->grad[i] += self->grad[i];
+                backend().axpy(1.f, self->grad.data(), x->grad.data(),
+                               x->grad.size());
             }
             if (b->requiresGrad) {
                 b->ensureGrad();
@@ -231,16 +194,16 @@ TensorPtr
 scale(const TensorPtr& x, float s)
 {
     auto out = Tensor::zeros(x->rows, x->cols);
-    for (size_t i = 0; i < x->value.size(); ++i)
-        out->value[i] = x->value[i] * s;
+    backend().scaleElem(s, x->value.data(), out->value.data(),
+                        x->value.size());
     if (anyRequiresGrad(x)) {
         out->requiresGrad = true;
         out->parents = {x};
         Tensor* self = out.get();
         out->backwardFn = [self, x, s]() {
             x->ensureGrad();
-            for (size_t i = 0; i < x->grad.size(); ++i)
-                x->grad[i] += self->grad[i] * s;
+            backend().axpy(s, self->grad.data(), x->grad.data(),
+                           x->grad.size());
         };
     }
     return out;
@@ -250,20 +213,8 @@ TensorPtr
 softmaxRows(const TensorPtr& x)
 {
     auto out = Tensor::zeros(x->rows, x->cols);
-    for (int i = 0; i < x->rows; ++i) {
-        float mx = x->at(i, 0);
-        for (int j = 1; j < x->cols; ++j)
-            mx = std::max(mx, x->at(i, j));
-        float sum = 0.f;
-        for (int j = 0; j < x->cols; ++j) {
-            float e = std::exp(x->at(i, j) - mx);
-            out->at(i, j) = e;
-            sum += e;
-        }
-        float inv = 1.f / sum;
-        for (int j = 0; j < x->cols; ++j)
-            out->at(i, j) *= inv;
-    }
+    backend().softmaxRows(x->value.data(), out->value.data(), x->rows,
+                          x->cols);
     if (anyRequiresGrad(x)) {
         out->requiresGrad = true;
         out->parents = {x};
@@ -286,20 +237,15 @@ softmaxRows(const TensorPtr& x)
     return out;
 }
 
-namespace {
-constexpr float kGeluC = 0.7978845608028654f; // sqrt(2/pi)
-constexpr float kGeluA = 0.044715f;
-} // namespace
+using kernels::kGeluA;
+using kernels::kGeluC;
 
 TensorPtr
 gelu(const TensorPtr& x)
 {
     auto out = Tensor::zeros(x->rows, x->cols);
-    for (size_t i = 0; i < x->value.size(); ++i) {
-        float v = x->value[i];
-        float t = std::tanh(kGeluC * (v + kGeluA * v * v * v));
-        out->value[i] = 0.5f * v * (1.f + t);
-    }
+    backend().geluForward(x->value.data(), out->value.data(),
+                          x->value.size());
     if (anyRequiresGrad(x)) {
         out->requiresGrad = true;
         out->parents = {x};
@@ -417,26 +363,9 @@ layerNormRows(const TensorPtr& x, const TensorPtr& gamma,
     // Stash normalized activations and inverse stddev for the backward pass.
     auto xhat = std::make_shared<std::vector<float>>(size_t(m) * n);
     auto invstd = std::make_shared<std::vector<float>>(m);
-    for (int i = 0; i < m; ++i) {
-        const float* row = x->value.data() + size_t(i) * n;
-        float mean = 0.f;
-        for (int j = 0; j < n; ++j)
-            mean += row[j];
-        mean /= n;
-        float var = 0.f;
-        for (int j = 0; j < n; ++j) {
-            float d = row[j] - mean;
-            var += d * d;
-        }
-        var /= n;
-        float is = 1.f / std::sqrt(var + eps);
-        (*invstd)[i] = is;
-        for (int j = 0; j < n; ++j) {
-            float xh = (row[j] - mean) * is;
-            (*xhat)[size_t(i) * n + j] = xh;
-            out->at(i, j) = gamma->value[j] * xh + beta->value[j];
-        }
-    }
+    backend().layerNormRows(x->value.data(), gamma->value.data(),
+                            beta->value.data(), eps, out->value.data(),
+                            xhat->data(), invstd->data(), m, n);
     if (x->requiresGrad || gamma->requiresGrad || beta->requiresGrad) {
         out->requiresGrad = true;
         out->parents = {x, gamma, beta};
@@ -506,13 +435,12 @@ embedRows(const TensorPtr& table, const std::vector<int>& ids)
         auto ids_copy = ids;
         out->backwardFn = [self, table, ids_copy]() {
             table->ensureGrad();
-            for (size_t i = 0; i < ids_copy.size(); ++i) {
-                float* dst =
-                    table->grad.data() + size_t(ids_copy[i]) * table->cols;
-                const float* src = self->grad.data() + i * table->cols;
-                for (int j = 0; j < table->cols; ++j)
-                    dst[j] += src[j];
-            }
+            const Backend& be = backend();
+            for (size_t i = 0; i < ids_copy.size(); ++i)
+                be.axpy(1.f, self->grad.data() + i * table->cols,
+                        table->grad.data() +
+                            size_t(ids_copy[i]) * table->cols,
+                        table->cols);
         };
     }
     return out;
@@ -599,8 +527,9 @@ sliceRows(const TensorPtr& x, int start, int len)
         out->backwardFn = [self, x, start, len]() {
             x->ensureGrad();
             int n = x->cols;
-            for (size_t i = 0; i < size_t(len) * n; ++i)
-                x->grad[size_t(start) * n + i] += self->grad[i];
+            backend().axpy(1.f, self->grad.data(),
+                           x->grad.data() + size_t(start) * n,
+                           size_t(len) * n);
         };
     }
     return out;
@@ -631,11 +560,12 @@ concatRows(const std::vector<TensorPtr>& parts)
         Tensor* self = out.get();
         out->backwardFn = [self]() {
             size_t off = 0;
+            const Backend& be = backend();
             for (const auto& p : self->parents) {
                 if (p->requiresGrad) {
                     p->ensureGrad();
-                    for (size_t i = 0; i < p->grad.size(); ++i)
-                        p->grad[i] += self->grad[off + i];
+                    be.axpy(1.f, self->grad.data() + off, p->grad.data(),
+                            p->grad.size());
                 }
                 off += p->value.size();
             }
@@ -662,9 +592,10 @@ meanRows(const TensorPtr& x)
             x->ensureGrad();
             int m = x->rows, n = x->cols;
             float inv = 1.f / m;
+            const Backend& be = backend();
             for (int i = 0; i < m; ++i)
-                for (int j = 0; j < n; ++j)
-                    x->grad[size_t(i) * n + j] += self->grad[j] * inv;
+                be.axpy(inv, self->grad.data(),
+                        x->grad.data() + size_t(i) * n, n);
         };
     }
     return out;
@@ -701,15 +632,14 @@ blockMeanRows(const TensorPtr& x, int batch, int max_seq,
         out->backwardFn = [self, x, batch, max_seq, lens]() {
             x->ensureGrad();
             int n = x->cols;
+            const Backend& be = backend();
             for (int b = 0; b < batch; ++b) {
                 float inv = 1.f / lens[b];
                 const float* g = self->grad.data() + size_t(b) * n;
-                for (int i = 0; i < lens[b]; ++i) {
-                    float* dx =
-                        x->grad.data() + size_t(b * max_seq + i) * n;
-                    for (int j = 0; j < n; ++j)
-                        dx[j] += g[j] * inv;
-                }
+                for (int i = 0; i < lens[b]; ++i)
+                    be.axpy(inv, g,
+                            x->grad.data() + size_t(b * max_seq + i) * n,
+                            n);
             }
         };
     }
@@ -736,27 +666,6 @@ sumAll(const TensorPtr& x)
     return out;
 }
 
-namespace {
-
-/** Row softmax into a scratch buffer (no autograd node). */
-void
-softmaxRowRaw(const float* in, float* out, int n)
-{
-    float mx = in[0];
-    for (int j = 1; j < n; ++j)
-        mx = std::max(mx, in[j]);
-    float sum = 0.f;
-    for (int j = 0; j < n; ++j) {
-        out[j] = std::exp(in[j] - mx);
-        sum += out[j];
-    }
-    float inv = 1.f / sum;
-    for (int j = 0; j < n; ++j)
-        out[j] *= inv;
-}
-
-} // namespace
-
 TensorPtr
 crossEntropyLogits(const TensorPtr& logits, const std::vector<int>& targets,
                    const std::vector<float>& row_weights)
@@ -773,10 +682,9 @@ crossEntropyLogits(const TensorPtr& logits, const std::vector<int>& targets,
     LLM_CHECK(wsum > 0.f, "crossEntropy weights sum to zero");
 
     auto probs = std::make_shared<std::vector<float>>(size_t(m) * n);
+    backend().softmaxRows(logits->value.data(), probs->data(), m, n);
     double loss = 0.0;
     for (int i = 0; i < m; ++i) {
-        softmaxRowRaw(logits->value.data() + size_t(i) * n,
-                      probs->data() + size_t(i) * n, n);
         int t = targets[i];
         LLM_CHECK(t >= 0 && t < n, "crossEntropy target " << t);
         float p = std::max((*probs)[size_t(i) * n + t], 1e-12f);
@@ -811,10 +719,9 @@ sequenceLogProb(const TensorPtr& logits, const std::vector<int>& targets)
     int m = logits->rows, n = logits->cols;
     LLM_CHECK(targets.size() == size_t(m), "sequenceLogProb target count");
     auto probs = std::make_shared<std::vector<float>>(size_t(m) * n);
+    backend().softmaxRows(logits->value.data(), probs->data(), m, n);
     double lp = 0.0;
     for (int i = 0; i < m; ++i) {
-        softmaxRowRaw(logits->value.data() + size_t(i) * n,
-                      probs->data() + size_t(i) * n, n);
         float p = std::max((*probs)[size_t(i) * n + targets[i]], 1e-12f);
         lp += std::log(p);
     }
@@ -871,9 +778,12 @@ mulRowMask(const TensorPtr& x, const std::vector<float>& mask)
 {
     LLM_CHECK(mask.size() == size_t(x->rows), "row mask size");
     auto out = Tensor::zeros(x->rows, x->cols);
-    for (int i = 0; i < x->rows; ++i)
-        for (int j = 0; j < x->cols; ++j)
-            out->at(i, j) = x->at(i, j) * mask[i];
+    {
+        const Backend& be = backend();
+        for (int i = 0; i < x->rows; ++i)
+            be.scaleElem(mask[i], x->value.data() + size_t(i) * x->cols,
+                         out->value.data() + size_t(i) * x->cols, x->cols);
+    }
     if (anyRequiresGrad(x)) {
         out->requiresGrad = true;
         out->parents = {x};
@@ -881,10 +791,11 @@ mulRowMask(const TensorPtr& x, const std::vector<float>& mask)
         auto mcopy = mask;
         out->backwardFn = [self, x, mcopy]() {
             x->ensureGrad();
+            const Backend& be = backend();
             for (int i = 0; i < x->rows; ++i)
-                for (int j = 0; j < x->cols; ++j)
-                    x->grad[size_t(i) * x->cols + j] +=
-                        self->grad[size_t(i) * x->cols + j] * mcopy[i];
+                be.axpy(mcopy[i],
+                        self->grad.data() + size_t(i) * x->cols,
+                        x->grad.data() + size_t(i) * x->cols, x->cols);
         };
     }
     return out;

@@ -5,10 +5,12 @@
  */
 
 #include <cmath>
+#include <cstring>
 #include <functional>
 
 #include <gtest/gtest.h>
 
+#include "nn/backend.h"
 #include "nn/ops.h"
 #include "nn/tensor.h"
 #include "util/rng.h"
@@ -219,6 +221,60 @@ TEST(Autograd, GradAccumulatesAcrossReuse)
     loss->backward();
     EXPECT_FLOAT_EQ(x->grad[0], 2.f);
     EXPECT_FLOAT_EQ(x->grad[1], 2.f);
+}
+
+/**
+ * Gradients — not just values — must be bit-identical across compute
+ * backends (backend.h contract): the matmul backward runs through the
+ * backend's gemmAccumBt/gemmAccumAt kernels, so a reordered reduction
+ * there would corrupt training trajectories while passing value-only
+ * comparisons. Deep matmul/transpose chains make the gradient path
+ * exercise all three GEMM variants multiple times.
+ */
+TEST(Autograd, MatmulTransposeChainGradBitIdenticalAcrossBackends)
+{
+    struct Run
+    {
+        float loss;
+        std::vector<float> ga, gb, gc;
+    };
+    auto runChain = [](const nn::Backend& be) {
+        const nn::Backend* saved = &nn::backend();
+        nn::setBackend(be);
+        util::Rng rng(321);
+        auto rand = [&rng](int r, int c) {
+            std::vector<float> d(size_t(r) * c);
+            for (auto& v : d)
+                v = static_cast<float>(rng.normal(0.0, 1.0));
+            return Tensor::fromData(r, c, std::move(d), true);
+        };
+        auto a = rand(9, 13);
+        auto b = rand(13, 7);
+        auto c = rand(9, 7);
+        // ((a*b) ⊙ c)^T * a  -> [7,13], then * b -> [7,7], summed.
+        auto ab = nn::matmul(a, b);
+        auto mixed = nn::mulElem(ab, c);
+        auto chained = nn::matmul(nn::transpose(mixed), a);
+        auto loss = nn::sumAll(nn::matmul(chained, b));
+        a->zeroGrad();
+        b->zeroGrad();
+        c->zeroGrad();
+        loss->backward();
+        Run r{loss->value[0], a->grad, b->grad, c->grad};
+        nn::setBackend(*saved);
+        return r;
+    };
+    Run s = runChain(nn::scalarBackend());
+    Run v = runChain(nn::vectorBackend());
+    EXPECT_EQ(0, std::memcmp(&s.loss, &v.loss, sizeof(float)));
+    auto bitEq = [](const std::vector<float>& x, const std::vector<float>& y) {
+        return x.size() == y.size() &&
+               std::memcmp(x.data(), y.data(),
+                           x.size() * sizeof(float)) == 0;
+    };
+    EXPECT_TRUE(bitEq(s.ga, v.ga));
+    EXPECT_TRUE(bitEq(s.gb, v.gb));
+    EXPECT_TRUE(bitEq(s.gc, v.gc));
 }
 
 TEST(Autograd, NoGradWhenNotRequired)
