@@ -86,6 +86,12 @@ main(int argc, char** argv)
                      res.error.c_str());
         return 1;
     }
+    // The parser runs the DFIR verifier on every successful parse;
+    // surface its findings (and refuse to profile malformed IR).
+    if (!res.diagnostics.diags.empty())
+        std::fprintf(stderr, "%s", res.diagnostics.str().c_str());
+    if (!res.diagnostics.ok())
+        return 1;
 
     std::printf("parsed %zu operator(s), %zu call(s), %d dynamic "
                 "parameter(s)\n",

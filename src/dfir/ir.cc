@@ -98,6 +98,12 @@ hashStmt(const StmtPtr& s)
 } // namespace
 
 uint64_t
+exprHash(const ExprPtr& e)
+{
+    return hashExpr(e);
+}
+
+uint64_t
 structuralHash(const DataflowGraph& g)
 {
     using util::hashCombine;

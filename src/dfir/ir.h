@@ -171,6 +171,13 @@ struct DataflowGraph
 /** Structural 64-bit hash of a graph (used for model-cache keys). */
 uint64_t structuralHash(const DataflowGraph& g);
 
+/**
+ * Structural hash of one expression subtree (the same combination the
+ * graph hash uses; exposed for the canonicalization passes, which order
+ * commutative operands and hash-cons subtrees by it).
+ */
+uint64_t exprHash(const ExprPtr& e);
+
 } // namespace dfir
 } // namespace llmulator
 

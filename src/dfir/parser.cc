@@ -539,6 +539,14 @@ parseProgram(const std::string& text)
     }
     if (res.ok && res.graph.name.empty())
         res.graph.name = "parsed";
+    if (res.ok) {
+        // Static-analysis pass over the parsed IR: syntax can be valid
+        // while the program is semantically broken (calls to undefined
+        // operators, undeclared names, shadowed loop variables). Kept
+        // out of `ok` so intentionally odd inputs still load; callers
+        // decide how strict to be.
+        res.diagnostics = verify(res.graph);
+    }
     return res;
 }
 

@@ -31,6 +31,7 @@
 #include <string>
 
 #include "dfir/ir.h"
+#include "dfir/verify.h"
 
 namespace llmulator {
 namespace dfir {
@@ -43,6 +44,10 @@ struct ParseResult
     int errorLine = 0;      //!< 1-based line of the first error
     DataflowGraph graph;
     RuntimeData data;       //!< scalar data lines, if any
+    //! Verifier findings on the parsed graph (populated when ok).
+    //! Syntactically valid text can still be semantically malformed;
+    //! diagnostics do not flip `ok` — callers choose their strictness.
+    VerifyResult diagnostics;
 };
 
 /** Parse a whole program (static text, optionally with data lines). */

@@ -1,0 +1,794 @@
+#include "dfir/passes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "dfir/printer.h"
+#include "util/string_util.h"
+
+namespace llmulator {
+namespace dfir {
+
+namespace {
+
+ExprPtr
+makeConst(long value)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::Const;
+    e->constVal = value;
+    return e;
+}
+
+/** Apply an expression rewrite to every expr position of a statement. */
+template <typename ExprFn, typename StmtRec>
+StmtPtr
+rewriteStmtExprs(const StmtPtr& s, ExprFn fn, StmtRec rec)
+{
+    auto copy = std::make_shared<Stmt>(*s);
+    for (auto& idx : copy->targetIdx)
+        idx = fn(idx);
+    if (copy->rhs)
+        copy->rhs = fn(copy->rhs);
+    if (copy->cond)
+        copy->cond = fn(copy->cond);
+    if (copy->kind == StmtKind::For) {
+        if (copy->loop.lower)
+            copy->loop.lower = fn(copy->loop.lower);
+        if (copy->loop.upper)
+            copy->loop.upper = fn(copy->loop.upper);
+    }
+    for (auto& b : copy->thenBody)
+        b = rec(b);
+    for (auto& b : copy->elseBody)
+        b = rec(b);
+    for (auto& b : copy->body)
+        b = rec(b);
+    return copy;
+}
+
+// ---------------------------------------------------------------------------
+// normalizeExprKinds
+
+/**
+ * Mirror the parser's name discipline: while walking an operator in
+ * pre-order, a name reference is a LoopVar iff a for-loop of that name
+ * has already opened (the parser registers induction variables as it
+ * sees their headers and never retires them within a function), and a
+ * Param otherwise. Kinds of Const / ArrayRef / Binary nodes are
+ * untouched.
+ */
+class KindNormalizer
+{
+  public:
+    Operator run(const Operator& op)
+    {
+        seen_.clear();
+        Operator out = op;
+        for (auto& s : out.body)
+            s = rewriteStmt(s);
+        return out;
+    }
+
+  private:
+    StmtPtr rewriteStmt(const StmtPtr& s)
+    {
+        if (s->kind == StmtKind::For)
+            seen_.insert(s->loop.var);
+        auto fn = [this](const ExprPtr& e) { return rewriteExpr(e); };
+        auto rec = [this](const StmtPtr& b) { return rewriteStmt(b); };
+        return rewriteStmtExprs(s, fn, rec);
+    }
+
+    ExprPtr rewriteExpr(const ExprPtr& e)
+    {
+        if (!e)
+            return e;
+        auto copy = std::make_shared<Expr>(*e);
+        for (auto& arg : copy->args)
+            arg = rewriteExpr(arg);
+        if (e->kind == ExprKind::LoopVar || e->kind == ExprKind::Param)
+            copy->kind = seen_.count(e->name) ? ExprKind::LoopVar
+                                              : ExprKind::Param;
+        return copy;
+    }
+
+    std::set<std::string> seen_;
+};
+
+// ---------------------------------------------------------------------------
+// foldConstants
+
+/**
+ * Fold a shape expression (loop bound or tensor dim). Only operators
+ * whose long-integer result matches the simulator's double evaluation
+ * bit for bit on integer inputs are folded; Div and Mod are excluded
+ * (estimateExpr truncates where evalExpr divides exactly), so a folded
+ * bound can never change a trip count or a synthesized tensor size.
+ */
+ExprPtr
+foldShapeExpr(const ExprPtr& e)
+{
+    if (!e || e->kind != ExprKind::Binary)
+        return e;
+    auto copy = std::make_shared<Expr>(*e);
+    for (auto& arg : copy->args)
+        arg = foldShapeExpr(arg);
+    if (copy->args.size() != 2 ||
+        copy->args[0]->kind != ExprKind::Const ||
+        copy->args[1]->kind != ExprKind::Const)
+        return copy;
+    long l = copy->args[0]->constVal;
+    long r = copy->args[1]->constVal;
+    switch (copy->op) {
+      case BinOp::Add: return makeConst(l + r);
+      case BinOp::Sub: return makeConst(l - r);
+      case BinOp::Mul: return makeConst(l * r);
+      case BinOp::Min: return makeConst(std::min(l, r));
+      case BinOp::Max: return makeConst(std::max(l, r));
+      case BinOp::Lt: return makeConst(l < r);
+      case BinOp::Le: return makeConst(l <= r);
+      case BinOp::Gt: return makeConst(l > r);
+      case BinOp::Ge: return makeConst(l >= r);
+      case BinOp::Eq: return makeConst(l == r);
+      case BinOp::Ne: return makeConst(l != r);
+      case BinOp::And: return makeConst((l != 0) && (r != 0));
+      case BinOp::Or: return makeConst((l != 0) || (r != 0));
+      case BinOp::Div:
+      case BinOp::Mod:
+        return copy;
+    }
+    return copy;
+}
+
+StmtPtr
+foldStmt(const StmtPtr& s)
+{
+    auto copy = std::make_shared<Stmt>(*s);
+    if (copy->kind == StmtKind::For) {
+        if (copy->loop.lower)
+            copy->loop.lower = foldShapeExpr(copy->loop.lower);
+        if (copy->loop.upper)
+            copy->loop.upper = foldShapeExpr(copy->loop.upper);
+    }
+    for (auto& b : copy->thenBody)
+        b = foldStmt(b);
+    for (auto& b : copy->elseBody)
+        b = foldStmt(b);
+    for (auto& b : copy->body)
+        b = foldStmt(b);
+    return copy;
+}
+
+// ---------------------------------------------------------------------------
+// eliminateDeadCode
+
+/**
+ * Evaluate a constants-only condition with the simulator's exact double
+ * arithmetic (including its guarded Div/Mod), so eliminating the branch
+ * reproduces the decision the interpreter would have taken. Returns
+ * true/false for a decided branch; unset when any name appears.
+ */
+bool
+constCondValue(const ExprPtr& e, bool* taken)
+{
+    struct Eval
+    {
+        static bool run(const ExprPtr& x, double* out)
+        {
+            if (!x)
+                return false;
+            switch (x->kind) {
+              case ExprKind::Const:
+                *out = static_cast<double>(x->constVal);
+                return true;
+              case ExprKind::Binary: {
+                double l, r;
+                if (x->args.size() != 2 || !run(x->args[0], &l) ||
+                    !run(x->args[1], &r))
+                    return false;
+                switch (x->op) {
+                  case BinOp::Add: *out = l + r; break;
+                  case BinOp::Sub: *out = l - r; break;
+                  case BinOp::Mul: *out = l * r; break;
+                  case BinOp::Div: *out = r != 0.0 ? l / r : 0.0; break;
+                  case BinOp::Mod:
+                    *out = r != 0.0 ? std::fmod(l, r) : 0.0;
+                    break;
+                  case BinOp::Min: *out = std::min(l, r); break;
+                  case BinOp::Max: *out = std::max(l, r); break;
+                  case BinOp::Lt: *out = l < r; break;
+                  case BinOp::Le: *out = l <= r; break;
+                  case BinOp::Gt: *out = l > r; break;
+                  case BinOp::Ge: *out = l >= r; break;
+                  case BinOp::Eq: *out = l == r; break;
+                  case BinOp::Ne: *out = l != r; break;
+                  case BinOp::And: *out = (l != 0) && (r != 0); break;
+                  case BinOp::Or: *out = (l != 0) || (r != 0); break;
+                }
+                return true;
+              }
+              default:
+                return false; // names: not a constant condition
+            }
+        }
+    };
+    double v = 0;
+    if (!Eval::run(e, &v))
+        return false;
+    *taken = v != 0.0;
+    return true;
+}
+
+void
+collectReadNames(const ExprPtr& e, std::set<std::string>& out)
+{
+    if (!e)
+        return;
+    // LoopVar reads resolve through the scalar environment when no loop
+    // binds the name, so both kinds pin a scalar as live.
+    if (e->kind == ExprKind::LoopVar || e->kind == ExprKind::Param)
+        out.insert(e->name);
+    for (const auto& arg : e->args)
+        collectReadNames(arg, out);
+}
+
+void
+collectStmtReads(const StmtPtr& s, std::set<std::string>& out)
+{
+    for (const auto& idx : s->targetIdx)
+        collectReadNames(idx, out);
+    collectReadNames(s->rhs, out);
+    collectReadNames(s->cond, out);
+    if (s->kind == StmtKind::For) {
+        collectReadNames(s->loop.lower, out);
+        collectReadNames(s->loop.upper, out);
+    }
+    for (const auto& b : s->thenBody)
+        collectStmtReads(b, out);
+    for (const auto& b : s->elseBody)
+        collectStmtReads(b, out);
+    for (const auto& b : s->body)
+        collectStmtReads(b, out);
+}
+
+/** One DCE rewrite of a statement list; appends survivors to 'out'. */
+void
+dceBody(const std::vector<StmtPtr>& body, const std::set<std::string>& live,
+        std::vector<StmtPtr>* out)
+{
+    for (const auto& s : body) {
+        switch (s->kind) {
+          case StmtKind::Assign: {
+            // A scalar store whose name nothing in the graph ever reads
+            // cannot influence any result; tensor stores always count
+            // (tensors are the dataflow edges and the outputs).
+            if (s->targetIdx.empty() && !live.count(s->target))
+                continue;
+            out->push_back(s);
+            break;
+          }
+          case StmtKind::If: {
+            bool taken = false;
+            if (constCondValue(s->cond, &taken)) {
+                dceBody(taken ? s->thenBody : s->elseBody, live, out);
+                continue;
+            }
+            std::vector<StmtPtr> then_body, else_body;
+            dceBody(s->thenBody, live, &then_body);
+            dceBody(s->elseBody, live, &else_body);
+            if (then_body.empty() && else_body.empty())
+                continue; // branch with no effects either way
+            if (then_body == s->thenBody && else_body == s->elseBody) {
+                out->push_back(s); // untouched: keep the original node
+                break;
+            }
+            auto copy = std::make_shared<Stmt>(*s);
+            copy->thenBody = std::move(then_body);
+            copy->elseBody = std::move(else_body);
+            out->push_back(copy);
+            break;
+          }
+          case StmtKind::For: {
+            std::vector<StmtPtr> body;
+            dceBody(s->body, live, &body);
+            if (body.empty())
+                continue; // empty loop has no effects
+            if (body == s->body) {
+                out->push_back(s);
+                break;
+            }
+            auto copy = std::make_shared<Stmt>(*s);
+            copy->body = std::move(body);
+            out->push_back(copy);
+            break;
+          }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// renameCanonical
+
+/**
+ * Deterministic fresh-name source that steps around tensor names, which
+ * renaming leaves alone (the simulator keys synthesized pseudo-data by
+ * tensor name). Skipped indices depend only on tensor names, so two
+ * graphs with equal tensors number identically.
+ */
+class NameWell
+{
+  public:
+    explicit NameWell(const std::set<std::string>& reserved)
+        : reserved_(reserved)
+    {
+    }
+
+    std::string fresh(const char* stem, int* counter) const
+    {
+        for (;;) {
+            std::string name = util::format("%s%d", stem, (*counter)++);
+            if (!reserved_.count(name))
+                return name;
+        }
+    }
+
+  private:
+    const std::set<std::string>& reserved_;
+};
+
+class Renamer
+{
+  public:
+    Renamer(const DataflowGraph& g,
+            std::map<std::string, std::string>* scalar_renames)
+        : g_(g), out_(scalar_renames)
+    {
+        for (const auto& op : g.ops)
+            for (const auto& t : op.tensors)
+                reserved_.insert(t.name);
+    }
+
+    DataflowGraph run();
+
+  private:
+    Operator renameOp(const Operator& op);
+    StmtPtr renameStmt(const StmtPtr& s);
+    ExprPtr renameExpr(const ExprPtr& e);
+
+    /** Canonical name for a scalar (param first, then temp pool). */
+    const std::string& scalarName(const std::string& name)
+    {
+        auto it = scalars_.find(name);
+        if (it != scalars_.end())
+            return it->second;
+        NameWell well(reserved_);
+        return scalars_
+            .emplace(name, well.fresh("t", &nextTemp_))
+            .first->second;
+    }
+
+    const DataflowGraph& g_;
+    std::map<std::string, std::string>* out_;
+    std::set<std::string> reserved_;
+    std::map<std::string, std::string> opNames_;
+    std::map<std::string, std::string> scalars_; //!< params + temps
+    std::vector<std::pair<std::string, std::string>> loopScope_;
+    int nextParam_ = 0;
+    int nextTemp_ = 0;
+    int nextLoop_ = 0; //!< reset per operator
+};
+
+DataflowGraph
+Renamer::run()
+{
+    NameWell well(reserved_);
+
+    // Operators: op0, op1, ... in first-call order; operators that are
+    // never called (possible when DCE was skipped) extend the sequence
+    // in definition order.
+    int op_counter = 0;
+    for (const auto& call : g_.calls)
+        if (g_.findOp(call.opName) && !opNames_.count(call.opName))
+            opNames_.emplace(call.opName, well.fresh("op", &op_counter));
+    for (const auto& op : g_.ops)
+        if (!opNames_.count(op.name))
+            opNames_.emplace(op.name, well.fresh("op", &op_counter));
+
+    // Scalar parameters: p0, p1, ... graph-wide in declaration order,
+    // visiting operators in their canonical (first-call) order so the
+    // numbering is independent of definition order. A name declared by
+    // several operators is the same runtime scalar and keeps one id.
+    std::vector<const Operator*> op_order;
+    {
+        std::set<std::string> queued;
+        for (const auto& call : g_.calls) {
+            const Operator* op = g_.findOp(call.opName);
+            if (op && queued.insert(op->name).second)
+                op_order.push_back(op);
+        }
+        for (const auto& op : g_.ops)
+            if (queued.insert(op.name).second)
+                op_order.push_back(&op);
+    }
+    for (const Operator* op : op_order)
+        for (const auto& sp : op->scalarParams)
+            if (!scalars_.count(sp))
+                scalars_.emplace(sp, well.fresh("p", &nextParam_));
+
+    // Scalar temps: t0, t1, ... by assignment-statement pre-order.
+    // Numbering from assignments (never from reads) keeps ids invariant
+    // under operand reordering, which is what lets rename-then-sort
+    // converge in one application.
+    struct TempWalk
+    {
+        Renamer* self;
+        void walk(const std::vector<StmtPtr>& body)
+        {
+            for (const auto& s : body) {
+                if (s->kind == StmtKind::Assign && s->targetIdx.empty())
+                    self->scalarName(s->target);
+                walk(s->thenBody);
+                walk(s->elseBody);
+                walk(s->body);
+            }
+        }
+    };
+    TempWalk tw{this};
+    for (const Operator* op : op_order)
+        tw.walk(op->body);
+
+    DataflowGraph out;
+    out.name = "canonical";
+    out.params = g_.params;
+    // Definitions are re-ordered to the canonical operator order, so
+    // call-order-only permutations of the same definitions unify. Every
+    // metric consumer walks calls, not definitions, so this is free.
+    for (const Operator* op : op_order)
+        out.ops.push_back(renameOp(*op));
+    for (const auto& call : g_.calls) {
+        auto it = opNames_.find(call.opName);
+        out.calls.push_back(
+            {it != opNames_.end() ? it->second : call.opName});
+    }
+    if (out_)
+        *out_ = scalars_;
+    return out;
+}
+
+Operator
+Renamer::renameOp(const Operator& op)
+{
+    Operator out;
+    out.name = opNames_.at(op.name);
+    out.tensors = op.tensors; // names intentionally stable
+    for (auto& t : out.tensors)
+        for (auto& d : t.dims)
+            d = renameExpr(d);
+    for (const auto& sp : op.scalarParams)
+        out.scalarParams.push_back(scalarName(sp));
+    nextLoop_ = 0;
+    loopScope_.clear();
+    for (const auto& s : op.body)
+        out.body.push_back(renameStmt(s));
+    return out;
+}
+
+StmtPtr
+Renamer::renameStmt(const StmtPtr& s)
+{
+    auto copy = std::make_shared<Stmt>(*s);
+    bool pushed = false;
+    if (s->kind == StmtKind::For) {
+        NameWell well(reserved_);
+        copy->loop.var = well.fresh("i", &nextLoop_);
+        loopScope_.emplace_back(s->loop.var, copy->loop.var);
+        pushed = true;
+    } else if (s->kind == StmtKind::Assign && s->targetIdx.empty()) {
+        copy->target = scalarName(s->target);
+    }
+    auto fn = [this](const ExprPtr& e) { return renameExpr(e); };
+    auto rec = [this](const StmtPtr& b) { return renameStmt(b); };
+    StmtPtr result = rewriteStmtExprs(copy, fn, rec);
+    if (pushed)
+        loopScope_.pop_back();
+    return result;
+}
+
+ExprPtr
+Renamer::renameExpr(const ExprPtr& e)
+{
+    if (!e)
+        return e;
+    auto copy = std::make_shared<Expr>(*e);
+    for (auto& arg : copy->args)
+        arg = renameExpr(arg);
+    if (e->kind == ExprKind::LoopVar) {
+        for (auto it = loopScope_.rbegin(); it != loopScope_.rend(); ++it) {
+            if (it->first == e->name) {
+                copy->name = it->second;
+                return copy;
+            }
+        }
+        // Out-of-scope loop name: the interpreter would fall back to
+        // the scalar environment, so rename through the scalar pool.
+        copy->name = scalarName(e->name);
+    } else if (e->kind == ExprKind::Param) {
+        copy->name = scalarName(e->name);
+    }
+    return copy;
+}
+
+// ---------------------------------------------------------------------------
+// orderCommutativeOperands
+
+bool
+isCommutative(BinOp op)
+{
+    switch (op) {
+      case BinOp::Add: case BinOp::Mul: case BinOp::Min: case BinOp::Max:
+      case BinOp::And: case BinOp::Or: case BinOp::Eq: case BinOp::Ne:
+        return true;
+      default:
+        return false;
+    }
+}
+
+ExprPtr
+sortExpr(const ExprPtr& e)
+{
+    // Recurse through every node kind: commuting operands hide inside
+    // ArrayRef indices just as often as at expression roots.
+    if (!e || e->args.empty())
+        return e;
+    auto copy = std::make_shared<Expr>(*e);
+    for (auto& arg : copy->args)
+        arg = sortExpr(arg);
+    if (copy->kind == ExprKind::Binary && copy->args.size() == 2 &&
+        isCommutative(copy->op)) {
+        uint64_t hl = exprHash(copy->args[0]);
+        uint64_t hr = exprHash(copy->args[1]);
+        // Hash order, with the printed form as a deterministic
+        // tie-break on the (rare) colliding non-identical subtrees.
+        bool swap = hl > hr ||
+                    (hl == hr && printExpr(copy->args[0]) >
+                                     printExpr(copy->args[1]));
+        if (swap)
+            std::swap(copy->args[0], copy->args[1]);
+    }
+    return copy;
+}
+
+StmtPtr
+sortStmt(const StmtPtr& s)
+{
+    auto fn = [](const ExprPtr& e) { return sortExpr(e); };
+    auto rec = [](const StmtPtr& b) { return sortStmt(b); };
+    return rewriteStmtExprs(s, fn, rec);
+}
+
+// ---------------------------------------------------------------------------
+// shareCommonSubexprs
+
+/**
+ * Hash-consing interner: children are interned first, so deep equality
+ * of candidates reduces to field comparison plus pointer equality of
+ * operands.
+ */
+class Interner
+{
+  public:
+    ExprPtr intern(const ExprPtr& e)
+    {
+        if (!e)
+            return e;
+        std::vector<ExprPtr> args;
+        args.reserve(e->args.size());
+        bool changed = false;
+        for (const auto& arg : e->args) {
+            args.push_back(intern(arg));
+            changed = changed || args.back() != arg;
+        }
+        ExprPtr candidate = e;
+        if (changed) {
+            auto copy = std::make_shared<Expr>(*e);
+            copy->args = std::move(args);
+            candidate = copy;
+        }
+        uint64_t h = exprHash(candidate);
+        auto& bucket = pool_[h];
+        for (const auto& existing : bucket)
+            if (shallowEqual(*existing, *candidate))
+                return existing;
+        bucket.push_back(candidate);
+        return candidate;
+    }
+
+  private:
+    static bool shallowEqual(const Expr& a, const Expr& b)
+    {
+        if (a.kind != b.kind || a.op != b.op ||
+            a.constVal != b.constVal || a.name != b.name ||
+            a.args.size() != b.args.size())
+            return false;
+        for (size_t i = 0; i < a.args.size(); ++i)
+            if (a.args[i] != b.args[i]) // interned: pointer equality
+                return false;
+        return true;
+    }
+
+    std::map<uint64_t, std::vector<ExprPtr>> pool_;
+};
+
+StmtPtr
+internStmt(const StmtPtr& s, Interner& interner)
+{
+    auto fn = [&interner](const ExprPtr& e) { return interner.intern(e); };
+    auto rec = [&interner](const StmtPtr& b) {
+        return internStmt(b, interner);
+    };
+    return rewriteStmtExprs(s, fn, rec);
+}
+
+/** Apply a statement rewrite to every operator body. */
+template <typename Fn>
+DataflowGraph
+mapBodies(const DataflowGraph& g, Fn fn)
+{
+    DataflowGraph out = g;
+    for (auto& op : out.ops)
+        for (auto& s : op.body)
+            s = fn(s);
+    return out;
+}
+
+} // namespace
+
+DataflowGraph
+normalizeExprKinds(const DataflowGraph& g)
+{
+    DataflowGraph out = g;
+    KindNormalizer norm;
+    for (auto& op : out.ops)
+        op = norm.run(op);
+    return out;
+}
+
+DataflowGraph
+foldConstants(const DataflowGraph& g)
+{
+    DataflowGraph out = g;
+    for (auto& op : out.ops) {
+        for (auto& t : op.tensors)
+            for (auto& d : t.dims)
+                d = foldShapeExpr(d);
+        for (auto& s : op.body)
+            s = foldStmt(s);
+    }
+    return out;
+}
+
+DataflowGraph
+eliminateDeadCode(const DataflowGraph& g)
+{
+    DataflowGraph out = g;
+    // Each round can expose more dead code (a removed reader kills its
+    // producers), so iterate to a fixed point; rounds are bounded by
+    // the number of statements.
+    for (;;) {
+        // Definitions that are never called produce no cycles, area or
+        // power (the simulator executes calls; the HLS compiler lowers
+        // called operators), so dropping them is metric-free.
+        std::set<std::string> called;
+        for (const auto& call : out.calls)
+            called.insert(call.opName);
+        std::vector<Operator> kept;
+        for (auto& op : out.ops)
+            if (called.count(op.name))
+                kept.push_back(std::move(op));
+        out.ops = std::move(kept);
+
+        std::set<std::string> live;
+        for (const auto& op : out.ops) {
+            for (const auto& t : op.tensors)
+                for (const auto& d : t.dims)
+                    collectReadNames(d, live);
+            for (const auto& s : op.body)
+                collectStmtReads(s, live);
+        }
+        bool changed = false;
+        for (auto& op : out.ops) {
+            std::vector<StmtPtr> body;
+            dceBody(op.body, live, &body);
+            changed = changed || body.size() != op.body.size() ||
+                      !std::equal(body.begin(), body.end(),
+                                  op.body.begin());
+            op.body = std::move(body);
+        }
+        if (!changed)
+            return out;
+    }
+}
+
+DataflowGraph
+orderCommutativeOperands(const DataflowGraph& g)
+{
+    DataflowGraph out = mapBodies(g, [](const StmtPtr& s) {
+        return sortStmt(s);
+    });
+    for (auto& op : out.ops)
+        for (auto& t : op.tensors)
+            for (auto& d : t.dims)
+                d = sortExpr(d);
+    return out;
+}
+
+DataflowGraph
+shareCommonSubexprs(const DataflowGraph& g)
+{
+    Interner interner;
+    DataflowGraph out = g;
+    for (auto& op : out.ops) {
+        for (auto& t : op.tensors)
+            for (auto& d : t.dims)
+                d = interner.intern(d);
+        for (auto& s : op.body)
+            s = internStmt(s, interner);
+    }
+    return out;
+}
+
+DataflowGraph
+renameCanonical(const DataflowGraph& g,
+                std::map<std::string, std::string>* scalar_renames)
+{
+    return Renamer(g, scalar_renames).run();
+}
+
+CanonResult
+canonicalizeEx(const DataflowGraph& g)
+{
+    // Order matters: dead code is removed before renaming so dead
+    // statements cannot perturb the numbering, and operand sorting runs
+    // after renaming so sort keys are name-canonical. Name assignment
+    // never depends on operand order (declaration, statement and loop
+    // pre-order only), so rename-then-sort is a one-shot fixed point.
+    CanonResult res;
+    DataflowGraph work = normalizeExprKinds(g);
+    work = foldConstants(work);
+    work = eliminateDeadCode(work);
+    work = renameCanonical(work, &res.scalarRenames);
+    work = orderCommutativeOperands(work);
+    res.graph = shareCommonSubexprs(work);
+    return res;
+}
+
+DataflowGraph
+canonicalize(const DataflowGraph& g)
+{
+    return canonicalizeEx(g).graph;
+}
+
+uint64_t
+canonicalHash(const DataflowGraph& g)
+{
+    return structuralHash(canonicalizeEx(g).graph);
+}
+
+RuntimeData
+remapRuntimeData(const RuntimeData& data,
+                 const std::map<std::string, std::string>& scalar_renames)
+{
+    RuntimeData out;
+    out.tensors = data.tensors;
+    for (const auto& [name, value] : data.scalars) {
+        auto it = scalar_renames.find(name);
+        out.scalars[it != scalar_renames.end() ? it->second : name] =
+            value;
+    }
+    return out;
+}
+
+} // namespace dfir
+} // namespace llmulator

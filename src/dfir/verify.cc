@@ -1,0 +1,466 @@
+#include "dfir/verify.h"
+
+#include <set>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace llmulator {
+namespace dfir {
+
+bool
+VerifyResult::ok() const
+{
+    return errorCount() == 0;
+}
+
+size_t
+VerifyResult::errorCount() const
+{
+    size_t n = 0;
+    for (const auto& d : diags)
+        n += d.severity == Severity::Error;
+    return n;
+}
+
+size_t
+VerifyResult::warningCount() const
+{
+    return diags.size() - errorCount();
+}
+
+std::string
+VerifyResult::str() const
+{
+    std::ostringstream out;
+    for (const auto& d : diags) {
+        out << (d.severity == Severity::Error ? "error" : "warning");
+        if (!d.op.empty())
+            out << "[" << d.op << "]";
+        out << ": " << d.message << "\n";
+    }
+    return out.str();
+}
+
+namespace {
+
+/** Verifier walk state for one operator. */
+struct OpScope
+{
+    const Operator* op = nullptr;
+    std::set<std::string> tensors;     //!< declared tensor names
+    std::set<std::string> tensorsAll;  //!< tensors declared in ANY operator
+    std::set<std::string> params;      //!< declared scalar parameters
+    std::set<std::string> temps;       //!< scalar-assign targets, graph-wide
+    std::vector<std::string> loopStack; //!< enclosing loop variables
+};
+
+class Verifier
+{
+  public:
+    explicit Verifier(const DataflowGraph& g) : g_(g) {}
+
+    VerifyResult run();
+
+  private:
+    void error(const std::string& op, const std::string& msg)
+    {
+        res_.diags.push_back({Severity::Error, op, msg});
+    }
+    void warn(const std::string& op, const std::string& msg)
+    {
+        res_.diags.push_back({Severity::Warning, op, msg});
+    }
+
+    void checkGraph();
+    void checkOperator(const Operator& op);
+    void checkStmt(const StmtPtr& s, OpScope& sc);
+    void checkExpr(const ExprPtr& e, OpScope& sc, const char* where);
+    void checkDimExpr(const ExprPtr& e, OpScope& sc,
+                      const std::string& tensor_name);
+
+    bool inLoopScope(const OpScope& sc, const std::string& name) const
+    {
+        for (const auto& lv : sc.loopStack)
+            if (lv == name)
+                return true;
+        return false;
+    }
+
+    const DataflowGraph& g_;
+    VerifyResult res_;
+    //! Scalar-assign targets across the whole graph. The simulator keeps
+    //! one scalar environment for all operator calls, so a temp assigned
+    //! by an earlier call is legitimately readable by a later one.
+    std::set<std::string> globalTemps_;
+    std::set<std::string> globalTensors_;
+};
+
+/** Declared rank of a tensor within an operator; 0 if undeclared. */
+size_t
+tensorRank(const Operator& op, const std::string& name)
+{
+    for (const auto& t : op.tensors)
+        if (t.name == name)
+            return t.dims.size();
+    return 0;
+}
+
+/** Collect scalar-assign targets in a statement subtree. */
+void
+collectScalarTargets(const StmtPtr& s, std::set<std::string>& out)
+{
+    if (s->kind == StmtKind::Assign && s->targetIdx.empty())
+        out.insert(s->target);
+    for (const auto& b : s->thenBody)
+        collectScalarTargets(b, out);
+    for (const auto& b : s->elseBody)
+        collectScalarTargets(b, out);
+    for (const auto& b : s->body)
+        collectScalarTargets(b, out);
+}
+
+VerifyResult
+Verifier::run()
+{
+    for (const auto& op : g_.ops) {
+        for (const auto& s : op.body)
+            collectScalarTargets(s, globalTemps_);
+        for (const auto& t : op.tensors)
+            globalTensors_.insert(t.name);
+    }
+    checkGraph();
+    for (const auto& op : g_.ops)
+        checkOperator(op);
+    return std::move(res_);
+}
+
+void
+Verifier::checkGraph()
+{
+    std::set<std::string> op_names;
+    for (const auto& op : g_.ops) {
+        if (op.name.empty())
+            error("", "operator with empty name");
+        if (!op_names.insert(op.name).second)
+            error("", util::format("duplicate operator definition '%s'",
+                                   op.name.c_str()));
+    }
+    for (const auto& call : g_.calls) {
+        if (!g_.findOp(call.opName))
+            error("", util::format(
+                          "dataflow() calls undefined operator '%s'",
+                          call.opName.c_str()));
+    }
+    if (g_.params.memReadDelay < 0 || g_.params.memWriteDelay < 0)
+        error("", util::format("negative memory delay (read=%d, write=%d)",
+                               g_.params.memReadDelay,
+                               g_.params.memWriteDelay));
+    if (g_.params.readPorts < 1 || g_.params.writePorts < 1)
+        error("", util::format(
+                      "memory ports must be >= 1 (read=%d, write=%d)",
+                      g_.params.readPorts, g_.params.writePorts));
+    if (g_.params.clockGhz <= 0)
+        error("", "clock frequency must be positive");
+}
+
+void
+Verifier::checkOperator(const Operator& op)
+{
+    OpScope sc;
+    sc.op = &op;
+    sc.tensorsAll = globalTensors_;
+    sc.temps = globalTemps_;
+    for (const auto& sp : op.scalarParams) {
+        if (!sc.params.insert(sp).second)
+            error(op.name, util::format(
+                               "duplicate scalar parameter '%s'",
+                               sp.c_str()));
+    }
+    for (const auto& t : op.tensors) {
+        if (!sc.tensors.insert(t.name).second)
+            error(op.name,
+                  util::format("duplicate tensor declaration '%s'",
+                               t.name.c_str()));
+        if (sc.params.count(t.name))
+            error(op.name, util::format(
+                               "tensor '%s' shadows a scalar parameter "
+                               "of the same name",
+                               t.name.c_str()));
+        if (t.dims.empty())
+            error(op.name, util::format("tensor '%s' declared with no "
+                                        "dimensions",
+                                        t.name.c_str()));
+        for (const auto& d : t.dims)
+            checkDimExpr(d, sc, t.name);
+    }
+    for (const auto& s : op.body)
+        checkStmt(s, sc);
+}
+
+void
+Verifier::checkStmt(const StmtPtr& s, OpScope& sc)
+{
+    const std::string& opn = sc.op->name;
+    if (!s) {
+        error(opn, "null statement in body");
+        return;
+    }
+    switch (s->kind) {
+      case StmtKind::Assign: {
+        if (s->target.empty()) {
+            error(opn, "assignment with empty target name");
+        } else if (!s->targetIdx.empty()) {
+            if (!sc.tensors.count(s->target)) {
+                error(opn,
+                      util::format("assignment indexes '%s', which is "
+                                   "not a declared tensor of this "
+                                   "operator",
+                                   s->target.c_str()));
+            }
+        } else {
+            if (sc.tensors.count(s->target))
+                error(opn, util::format(
+                               "scalar assignment to '%s', which is "
+                               "declared as a tensor (missing index?)",
+                               s->target.c_str()));
+            if (inLoopScope(sc, s->target))
+                error(opn, util::format(
+                               "assignment to enclosing loop variable "
+                               "'%s'",
+                               s->target.c_str()));
+        }
+        for (const auto& idx : s->targetIdx)
+            checkExpr(idx, sc, "array index");
+        if (!s->rhs)
+            error(opn, util::format("assignment to '%s' has no "
+                                    "right-hand side",
+                                    s->target.c_str()));
+        else
+            checkExpr(s->rhs, sc, "assignment rhs");
+        break;
+      }
+      case StmtKind::If: {
+        if (!s->cond) {
+            error(opn, "if statement with null condition");
+        } else {
+            checkExpr(s->cond, sc, "branch condition");
+            bool pred = s->cond->kind == ExprKind::Binary &&
+                        isPredicate(s->cond->op);
+            if (!pred)
+                error(opn,
+                      "branch condition is not a predicate (expected a "
+                      "comparison or logic operator at the root)");
+        }
+        for (const auto& b : s->thenBody)
+            checkStmt(b, sc);
+        for (const auto& b : s->elseBody)
+            checkStmt(b, sc);
+        break;
+      }
+      case StmtKind::For: {
+        const Loop& lp = s->loop;
+        if (lp.var.empty())
+            error(opn, "for loop with empty induction-variable name");
+        if (lp.step <= 0)
+            error(opn, util::format(
+                           "loop over '%s' has non-positive step %d",
+                           lp.var.c_str(), lp.step));
+        if (lp.unroll < 1)
+            error(opn, util::format(
+                           "loop over '%s' has unroll factor %d (< 1)",
+                           lp.var.c_str(), lp.unroll));
+        if (inLoopScope(sc, lp.var))
+            error(opn, util::format(
+                           "loop variable '%s' shadows an enclosing "
+                           "loop variable",
+                           lp.var.c_str()));
+        if (sc.params.count(lp.var))
+            error(opn, util::format(
+                           "loop variable '%s' shadows a scalar "
+                           "parameter",
+                           lp.var.c_str()));
+        if (sc.tensors.count(lp.var))
+            error(opn,
+                  util::format("loop variable '%s' shadows a tensor",
+                               lp.var.c_str()));
+        if (!lp.lower)
+            error(opn, util::format("loop over '%s' has no lower bound",
+                                    lp.var.c_str()));
+        else
+            checkExpr(lp.lower, sc, "loop bound");
+        if (!lp.upper)
+            error(opn, util::format("loop over '%s' has no upper bound",
+                                    lp.var.c_str()));
+        else
+            checkExpr(lp.upper, sc, "loop bound");
+        sc.loopStack.push_back(lp.var);
+        for (const auto& b : s->body)
+            checkStmt(b, sc);
+        sc.loopStack.pop_back();
+        break;
+      }
+    }
+}
+
+void
+Verifier::checkExpr(const ExprPtr& e, OpScope& sc, const char* where)
+{
+    const std::string& opn = sc.op->name;
+    if (!e) {
+        error(opn, util::format("null expression in %s", where));
+        return;
+    }
+    switch (e->kind) {
+      case ExprKind::Const:
+        if (!e->args.empty())
+            error(opn, "constant expression with operands");
+        break;
+      case ExprKind::LoopVar: {
+        if (!e->args.empty())
+            error(opn, util::format("loop-variable reference '%s' with "
+                                    "operands",
+                                    e->name.c_str()));
+        if (inLoopScope(sc, e->name))
+            break;
+        // The simulator resolves a LoopVar miss through the scalar
+        // environment, so a temp read through a LoopVar node executes —
+        // but it signals confused IR construction.
+        if (sc.temps.count(e->name) || sc.params.count(e->name))
+            warn(opn, util::format(
+                          "'%s' is read as a loop variable in %s but is "
+                          "a scalar here (declare the loop or use a "
+                          "scalar reference)",
+                          e->name.c_str(), where));
+        else
+            error(opn, util::format(
+                           "loop variable '%s' is not declared by any "
+                           "enclosing loop (used in %s)",
+                           e->name.c_str(), where));
+        break;
+      }
+      case ExprKind::Param: {
+        if (!e->args.empty())
+            error(opn,
+                  util::format("scalar reference '%s' with operands",
+                               e->name.c_str()));
+        if (sc.params.count(e->name) || sc.temps.count(e->name))
+            break;
+        if (inLoopScope(sc, e->name))
+            warn(opn, util::format(
+                          "'%s' is read as a scalar in %s but names an "
+                          "enclosing loop variable",
+                          e->name.c_str(), where));
+        else
+            error(opn,
+                  util::format("scalar '%s' is not a declared parameter "
+                               "and is never assigned (used in %s)",
+                               e->name.c_str(), where));
+        break;
+      }
+      case ExprKind::ArrayRef: {
+        if (!sc.tensors.count(e->name)) {
+            if (sc.tensorsAll.count(e->name))
+                warn(opn, util::format(
+                              "tensor '%s' is read in %s but declared "
+                              "only by another operator",
+                              e->name.c_str(), where));
+            else
+                error(opn, util::format(
+                               "array reference '%s' does not name a "
+                               "declared tensor (used in %s)",
+                               e->name.c_str(), where));
+        } else if (e->args.size() != tensorRank(*sc.op, e->name)) {
+            warn(opn,
+                 util::format("array reference '%s' uses %d indices but "
+                              "the tensor declares %d dimensions "
+                              "(flattened modulo size)",
+                              e->name.c_str(),
+                              static_cast<int>(e->args.size()),
+                              static_cast<int>(
+                                  tensorRank(*sc.op, e->name))));
+        }
+        if (e->args.empty())
+            error(opn, util::format(
+                           "array reference '%s' with no indices",
+                           e->name.c_str()));
+        for (const auto& idx : e->args)
+            checkExpr(idx, sc, "array index");
+        break;
+      }
+      case ExprKind::Binary: {
+        if (e->args.size() != 2) {
+            error(opn, util::format(
+                           "binary '%s' expression with %d operands "
+                           "(expected 2)",
+                           binOpName(e->op),
+                           static_cast<int>(e->args.size())));
+        }
+        for (const auto& arg : e->args)
+            checkExpr(arg, sc, where);
+        break;
+      }
+    }
+}
+
+void
+Verifier::checkDimExpr(const ExprPtr& e, OpScope& sc,
+                       const std::string& tensor_name)
+{
+    const std::string& opn = sc.op->name;
+    if (!e) {
+        error(opn, util::format("null dimension in tensor '%s'",
+                                tensor_name.c_str()));
+        return;
+    }
+    switch (e->kind) {
+      case ExprKind::Const:
+        if (e->constVal <= 0)
+            error(opn, util::format(
+                           "tensor '%s' has non-positive constant "
+                           "dimension %ld",
+                           tensor_name.c_str(), e->constVal));
+        break;
+      case ExprKind::Param:
+        if (!sc.params.count(e->name))
+            error(opn, util::format(
+                           "tensor '%s' dimension references '%s', "
+                           "which is not a declared scalar parameter",
+                           tensor_name.c_str(), e->name.c_str()));
+        break;
+      case ExprKind::LoopVar:
+        error(opn, util::format("tensor '%s' dimension references loop "
+                                "variable '%s' (dims must be shape "
+                                "expressions over declared scalars)",
+                                tensor_name.c_str(), e->name.c_str()));
+        break;
+      case ExprKind::ArrayRef:
+        error(opn, util::format("tensor '%s' dimension references array "
+                                "element '%s' (dims must be shape "
+                                "expressions over declared scalars)",
+                                tensor_name.c_str(), e->name.c_str()));
+        break;
+      case ExprKind::Binary:
+        if (e->args.size() != 2)
+            error(opn, util::format(
+                           "binary '%s' expression with %d operands "
+                           "(expected 2) in tensor '%s' dimension",
+                           binOpName(e->op),
+                           static_cast<int>(e->args.size()),
+                           tensor_name.c_str()));
+        for (const auto& arg : e->args)
+            checkDimExpr(arg, sc, tensor_name);
+        break;
+    }
+}
+
+} // namespace
+
+VerifyResult
+verify(const DataflowGraph& g)
+{
+    return Verifier(g).run();
+}
+
+} // namespace dfir
+} // namespace llmulator

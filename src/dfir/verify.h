@@ -1,0 +1,73 @@
+#ifndef LLMULATOR_DFIR_VERIFY_H
+#define LLMULATOR_DFIR_VERIFY_H
+
+/**
+ * @file
+ * Static well-formedness verifier for the dataflow IR.
+ *
+ * This is the correctness backstop every IR consumer (printer, HLS
+ * compiler, cycle simulator, synthesizer) assumes but never checked: a
+ * single pass that walks a DataflowGraph and reports structural and
+ * semantic defects as structured diagnostics instead of silently
+ * producing garbage metrics downstream.
+ *
+ * Checked properties (each produces an actionable Diagnostic):
+ *  - every OpCall resolves to a defined operator;
+ *  - operator, tensor and scalar-parameter names are unique per scope;
+ *  - loop steps are positive and unroll factors >= 1;
+ *  - loop variables do not shadow enclosing loop variables, scalar
+ *    parameters or tensors;
+ *  - every ArrayRef base names a declared tensor; every Param / LoopVar
+ *    name is declared in scope (scalar parameter, scalar temp assigned
+ *    somewhere in the graph, or enclosing loop variable);
+ *  - If conditions are predicates (comparison / logic root);
+ *  - tensor dims reference only constants and declared scalars;
+ *  - expression arity is sound (binary = 2 operands, leaves = 0);
+ *  - hardware parameters are in their documented ranges.
+ *
+ * Severity::Warning marks constructs the simulator tolerates via
+ * documented fallbacks (e.g. an ArrayRef whose index count differs from
+ * the declared rank is flattened modulo the tensor size); ok() is true
+ * when no Error-level diagnostics were produced.
+ */
+
+#include <string>
+#include <vector>
+
+#include "dfir/ir.h"
+
+namespace llmulator {
+namespace dfir {
+
+/** Diagnostic severity. Errors make VerifyResult::ok() false. */
+enum class Severity { Warning, Error };
+
+/** One verifier finding, tied to the operator it occurred in. */
+struct Diagnostic
+{
+    Severity severity = Severity::Error;
+    std::string op;      //!< operator name; empty for graph-level findings
+    std::string message; //!< actionable description, names included
+};
+
+/** Outcome of a verification pass. */
+struct VerifyResult
+{
+    std::vector<Diagnostic> diags;
+
+    /** True when no Error-level diagnostics were produced. */
+    bool ok() const;
+    size_t errorCount() const;
+    size_t warningCount() const;
+
+    /** All diagnostics rendered one per line ("error[op]: message"). */
+    std::string str() const;
+};
+
+/** Verify a whole graph. Pure; never mutates or aborts. */
+VerifyResult verify(const DataflowGraph& g);
+
+} // namespace dfir
+} // namespace llmulator
+
+#endif // LLMULATOR_DFIR_VERIFY_H

@@ -9,6 +9,7 @@
 
 #include "calib/dpo.h"
 #include "dfir/analysis.h"
+#include "dfir/passes.h"
 #include "eval/metrics.h"
 #include "eval/model_cache.h"
 #include "harness/trainer.h"
@@ -125,7 +126,9 @@ datasetKey(const synth::Dataset& ds)
 {
     uint64_t h = util::fnv1a("dataset");
     for (const auto& s : ds.samples) {
-        h = util::hashCombine(h, dfir::structuralHash(s.graph));
+        // Canonical hashes keep cached models valid across generator
+        // tweaks that only rename values or reorder commuting operands.
+        h = util::hashCombine(h, dfir::canonicalHash(s.graph));
         h = util::hashCombine(h, static_cast<uint64_t>(s.targets.cycles));
         h = util::hashCombine(h, static_cast<uint64_t>(s.targets.area));
     }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "dfir/ir.h"
+#include "dfir/passes.h"
 
 namespace llmulator {
 namespace serve {
@@ -64,8 +65,21 @@ PredictionServer::submitAsync(const dfir::DataflowGraph& g,
                               model::Metric metric)
 {
     Request req;
-    req.key.program = dfir::structuralHash(g);
-    req.key.input = data ? hashRuntimeData(*data) : 0;
+    if (cfg_.canonicalCacheKeys) {
+        // Canonical keys: equivalent programs (renamed values, commuted
+        // operands, dead code) collide on one entry. The input hash is
+        // taken after renaming the caller's scalars into the canonical
+        // namespace so it matches across renamed variants too.
+        dfir::CanonResult canon = dfir::canonicalizeEx(g);
+        req.key.program = dfir::structuralHash(canon.graph);
+        req.key.input =
+            data ? hashRuntimeData(
+                       dfir::remapRuntimeData(*data, canon.scalarRenames))
+                 : 0;
+    } else {
+        req.key.program = dfir::structuralHash(g);
+        req.key.input = data ? hashRuntimeData(*data) : 0;
+    }
     req.key.metric = static_cast<int>(metric);
     req.metric = metric;
     req.submitTime = std::chrono::steady_clock::now();

@@ -22,7 +22,16 @@
  *
  * Finished predictions land in a sharded LRU ResultCache keyed by
  * (program DFIR hash, runtime-input hash, metric); repeated queries are
- * answered without touching the model. Clients use the blocking
+ * answered without touching the model. With the default
+ * `canonicalCacheKeys`, the program hash is dfir::canonicalHash — the
+ * structural hash of the canonicalized graph — and the input hash is
+ * taken over the runtime data with scalars renamed into the canonical
+ * graph's namespace (dfir::remapRuntimeData), so semantically identical
+ * programs (renamed values, reordered commuting operands, dead assigns)
+ * share one cache entry. The model still encodes each miss's ORIGINAL
+ * graph text; equivalent programs therefore share the cached prediction
+ * of whichever variant arrived first, exactly as a cache is expected to.
+ * Set `canonicalCacheKeys = false` to key on the raw structural hash. Clients use the blocking
  * predict() or the future-based submitAsync(); stats() returns a
  * ServerStats snapshot (throughput, p50/p95 latency, hit rate, queue
  * depth). stop() — also run by the destructor — closes the intake and
@@ -63,6 +72,9 @@ struct ServeConfig
     size_t cacheCapacity = 4096; //!< result-cache entries; 0 disables
     size_t cacheShards = 8;  //!< result-cache shard count
     int beamWidth = 3;       //!< numeric-head beam width
+    //! Key the result cache by dfir::canonicalHash (+ scalar-remapped
+    //! input hash) so equivalent programs collide; false = raw hashes.
+    bool canonicalCacheKeys = true;
 };
 
 /** Point-in-time server statistics snapshot. */

@@ -3,7 +3,9 @@
 #include <cmath>
 #include <sstream>
 
+#include "dfir/verify.h"
 #include "synth/generators.h"
+#include "util/common.h"
 #include "util/rng.h"
 
 namespace llmulator {
@@ -44,6 +46,12 @@ Sample
 makeSample(dfir::DataflowGraph graph, bool with_data, SourceKind source,
            bool reasoning, util::Rng& rng)
 {
+    // Generators must only ever emit verifier-clean IR; a malformed
+    // sample would silently skew the training distribution.
+    dfir::VerifyResult vr = dfir::verify(graph);
+    LLM_CHECK(vr.ok(), "synthesized program '"
+                           << graph.name << "' failed DFIR verification:\n"
+                           << vr.str());
     Sample s;
     s.source = source;
     s.hasData = with_data;

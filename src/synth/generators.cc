@@ -298,6 +298,238 @@ mutateProgram(const dfir::DataflowGraph& base, util::Rng& rng,
     return g;
 }
 
+namespace {
+
+/** All identifier-like names used anywhere in a graph. */
+void
+collectExprNames(const ExprPtr& e, std::set<std::string>& out)
+{
+    if (!e)
+        return;
+    if (!e->name.empty())
+        out.insert(e->name);
+    for (const auto& arg : e->args)
+        collectExprNames(arg, out);
+}
+
+void
+collectStmtNames(const StmtPtr& s, std::set<std::string>& out)
+{
+    if (!s->target.empty())
+        out.insert(s->target);
+    for (const auto& idx : s->targetIdx)
+        collectExprNames(idx, out);
+    collectExprNames(s->rhs, out);
+    collectExprNames(s->cond, out);
+    if (s->kind == StmtKind::For) {
+        out.insert(s->loop.var);
+        collectExprNames(s->loop.lower, out);
+        collectExprNames(s->loop.upper, out);
+    }
+    for (const auto& b : s->thenBody)
+        collectStmtNames(b, out);
+    for (const auto& b : s->elseBody)
+        collectStmtNames(b, out);
+    for (const auto& b : s->body)
+        collectStmtNames(b, out);
+}
+
+/** Consistent whole-graph rename of non-tensor value names. */
+ExprPtr
+renameExprNames(const ExprPtr& e,
+                const std::map<std::string, std::string>& map)
+{
+    if (!e)
+        return e;
+    auto copy = std::make_shared<Expr>(*e);
+    // Tensor names never appear in the map, so ArrayRef bases are safe.
+    auto it = map.find(e->name);
+    if (it != map.end() && e->kind != ExprKind::ArrayRef)
+        copy->name = it->second;
+    for (auto& arg : copy->args)
+        arg = renameExprNames(arg, map);
+    return copy;
+}
+
+StmtPtr
+renameStmtNames(const StmtPtr& s,
+                const std::map<std::string, std::string>& map)
+{
+    auto copy = std::make_shared<Stmt>(*s);
+    if (copy->kind == StmtKind::Assign && copy->targetIdx.empty()) {
+        auto it = map.find(copy->target);
+        if (it != map.end())
+            copy->target = it->second;
+    }
+    for (auto& idx : copy->targetIdx)
+        idx = renameExprNames(idx, map);
+    if (copy->rhs)
+        copy->rhs = renameExprNames(copy->rhs, map);
+    if (copy->cond)
+        copy->cond = renameExprNames(copy->cond, map);
+    if (copy->kind == StmtKind::For) {
+        auto it = map.find(copy->loop.var);
+        if (it != map.end())
+            copy->loop.var = it->second;
+        copy->loop.lower = renameExprNames(copy->loop.lower, map);
+        copy->loop.upper = renameExprNames(copy->loop.upper, map);
+    }
+    for (auto& b : copy->thenBody)
+        b = renameStmtNames(b, map);
+    for (auto& b : copy->elseBody)
+        b = renameStmtNames(b, map);
+    for (auto& b : copy->body)
+        b = renameStmtNames(b, map);
+    return copy;
+}
+
+/** Randomly swap commuting operands throughout an expression. */
+ExprPtr
+commuteExpr(const ExprPtr& e, util::Rng& rng)
+{
+    if (!e)
+        return e;
+    auto copy = std::make_shared<Expr>(*e);
+    for (auto& arg : copy->args)
+        arg = commuteExpr(arg, rng);
+    if (copy->kind == ExprKind::Binary && copy->args.size() == 2) {
+        switch (copy->op) {
+          case BinOp::Add: case BinOp::Mul: case BinOp::Min:
+          case BinOp::Max: case BinOp::And: case BinOp::Or:
+          case BinOp::Eq: case BinOp::Ne:
+            if (rng.chance(0.5))
+                std::swap(copy->args[0], copy->args[1]);
+            break;
+          default:
+            break;
+        }
+    }
+    return copy;
+}
+
+StmtPtr
+commuteStmt(const StmtPtr& s, util::Rng& rng)
+{
+    auto copy = std::make_shared<Stmt>(*s);
+    for (auto& idx : copy->targetIdx)
+        idx = commuteExpr(idx, rng);
+    if (copy->rhs)
+        copy->rhs = commuteExpr(copy->rhs, rng);
+    if (copy->cond)
+        copy->cond = commuteExpr(copy->cond, rng);
+    if (copy->kind == StmtKind::For) {
+        copy->loop.lower = commuteExpr(copy->loop.lower, rng);
+        copy->loop.upper = commuteExpr(copy->loop.upper, rng);
+    }
+    for (auto& b : copy->thenBody)
+        b = commuteStmt(b, rng);
+    for (auto& b : copy->elseBody)
+        b = commuteStmt(b, rng);
+    for (auto& b : copy->body)
+        b = commuteStmt(b, rng);
+    return copy;
+}
+
+} // namespace
+
+EquivalentMutant
+equivalentMutant(const dfir::DataflowGraph& base, util::Rng& rng)
+{
+    EquivalentMutant out;
+    DataflowGraph g = base;
+
+    // Names already in use anywhere (tensors included): fresh names must
+    // avoid them so a rename cannot capture an existing identifier.
+    std::set<std::string> used;
+    for (const auto& op : g.ops) {
+        used.insert(op.name);
+        for (const auto& t : op.tensors)
+            used.insert(t.name);
+        for (const auto& sp : op.scalarParams)
+            used.insert(sp);
+        for (const auto& s : op.body)
+            collectStmtNames(s, used);
+    }
+    int serial = 0;
+    auto fresh = [&](const char* stem) {
+        for (;;) {
+            std::string name = util::format("%s%d", stem, serial++);
+            if (used.insert(name).second)
+                return name;
+        }
+    };
+
+    // Rename every value name (loop vars, scalar params, scalar temps)
+    // consistently across the graph; tensors keep their names (the
+    // simulator keys pseudo-data by tensor name, so renaming them would
+    // change behaviour, not just spelling).
+    std::set<std::string> tensor_names;
+    for (const auto& op : g.ops)
+        for (const auto& t : op.tensors)
+            tensor_names.insert(t.name);
+    std::map<std::string, std::string> value_map;
+    for (const auto& op : g.ops) {
+        for (const auto& sp : op.scalarParams)
+            if (!value_map.count(sp))
+                value_map.emplace(sp, fresh("q"));
+        std::set<std::string> names;
+        for (const auto& s : op.body)
+            collectStmtNames(s, names);
+        for (const auto& name : names)
+            if (!tensor_names.count(name) && !value_map.count(name))
+                value_map.emplace(name, fresh("q"));
+    }
+    for (auto& op : g.ops) {
+        for (auto& sp : op.scalarParams)
+            sp = value_map.at(sp);
+        for (auto& t : op.tensors)
+            for (auto& d : t.dims)
+                d = renameExprNames(d, value_map);
+        for (auto& s : op.body)
+            s = renameStmtNames(s, value_map);
+    }
+    // Only scalar names matter for runtime data; loop variables never
+    // appear there, and passing them along is harmless.
+    out.scalarRenames = value_map;
+
+    // Rename operators (and their call sites).
+    std::map<std::string, std::string> op_map;
+    for (auto& op : g.ops) {
+        op_map.emplace(op.name, fresh("fn"));
+        op.name = op_map.at(op.name);
+    }
+    for (auto& call : g.calls) {
+        auto it = op_map.find(call.opName);
+        if (it != op_map.end())
+            call.opName = it->second;
+    }
+
+    // Swap commuting operands at random.
+    for (auto& op : g.ops)
+        for (auto& s : op.body)
+            s = commuteStmt(s, rng);
+
+    // Inject dead code: a never-read scalar assign and a branch whose
+    // condition is constant-false.
+    if (!g.ops.empty()) {
+        Operator& op = g.ops[rng.index(g.ops.size())];
+        op.body.push_back(
+            dfir::assignScalar(fresh("dead"),
+                               dfir::c(rng.uniformInt(1, 9))));
+        if (!op.tensors.empty() && rng.chance(0.7)) {
+            const std::string& arr = op.tensors[0].name;
+            op.body.push_back(
+                dfir::ifStmt(dfir::bgt(dfir::c(0), dfir::c(1)),
+                             {dfir::assign(arr, {dfir::c(0)},
+                                           dfir::c(0))}));
+        }
+    }
+
+    g.name = base.name + "_eq";
+    out.graph = std::move(g);
+    return out;
+}
+
 void
 augmentHardware(dfir::DataflowGraph& g, util::Rng& rng,
                 const std::vector<int>& mem_delays)

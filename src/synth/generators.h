@@ -53,6 +53,29 @@ dfir::DataflowGraph mutateProgram(const dfir::DataflowGraph& base,
                                   util::Rng& rng, const GenConfig& cfg = {});
 
 /**
+ * A semantics-preserving rewrite of a base program, used to stress the
+ * serve result cache: identical behaviour, different text/structure.
+ */
+struct EquivalentMutant
+{
+    dfir::DataflowGraph graph;
+    //! Old scalar name -> new name; feed dfir::remapRuntimeData so the
+    //! mutant's runtime data matches its renamed parameters.
+    std::map<std::string, std::string> scalarRenames;
+};
+
+/**
+ * Produce a semantically identical variant of 'base': loop variables,
+ * scalar parameters/temps and operator names are freshly renamed,
+ * commuting operands are randomly swapped, and dead scalar assigns /
+ * dead branches are randomly injected. Under canonical cache keys
+ * (dfir::canonicalHash) every mutant of a base collides with it; under
+ * raw structural hashes each one misses.
+ */
+EquivalentMutant equivalentMutant(const dfir::DataflowGraph& base,
+                                  util::Rng& rng);
+
+/**
  * Attach hardware mapping/parameter augmentation (paper Section 6.3):
  * memory delays drawn from the given set, port counts, and pragma
  * rewrites (unroll / parallel) on randomly chosen loops.

@@ -14,7 +14,9 @@
 #include "workloads/workloads.h"
 
 #include "dfir/builder.h"
+#include "dfir/verify.h"
 #include "synth/generators.h"
+#include "util/common.h"
 #include "util/rng.h"
 
 namespace llmulator {
@@ -57,6 +59,9 @@ makeGemmVariant(const std::string& name,
     Workload w;
     w.name = name;
     w.graph = std::move(g);
+    dfir::VerifyResult vr = dfir::verify(w.graph);
+    LLM_CHECK(vr.ok(), "workload '" << name << "' failed DFIR verification:\n"
+                                    << vr.str());
     util::Rng rng(seed);
     w.canonicalData = synth::generateRuntimeData(w.graph, rng, 16);
     for (int i = 0; i < 6; ++i)

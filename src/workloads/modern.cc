@@ -18,7 +18,9 @@
 #include "workloads/workloads.h"
 
 #include "dfir/builder.h"
+#include "dfir/verify.h"
 #include "synth/generators.h"
+#include "util/common.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 
@@ -221,6 +223,10 @@ makeApp(int row)
     Workload w;
     w.name = spec.name;
     w.graph = std::move(g);
+    dfir::VerifyResult vr = dfir::verify(w.graph);
+    LLM_CHECK(vr.ok(), "workload '" << spec.name
+                                    << "' failed DFIR verification:\n"
+                                    << vr.str());
     util::Rng drng(0x900 + row);
     w.canonicalData =
         synth::generateRuntimeData(w.graph, drng, spec.baseSize);

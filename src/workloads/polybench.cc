@@ -12,7 +12,9 @@
 #include "workloads/workloads.h"
 
 #include "dfir/builder.h"
+#include "dfir/verify.h"
 #include "synth/generators.h"
+#include "util/common.h"
 #include "util/rng.h"
 
 namespace llmulator {
@@ -30,6 +32,9 @@ finish(const std::string& name, DataflowGraph g, long base_n,
     Workload w;
     w.name = name;
     w.graph = std::move(g);
+    dfir::VerifyResult vr = dfir::verify(w.graph);
+    LLM_CHECK(vr.ok(), "workload '" << name << "' failed DFIR verification:\n"
+                                    << vr.str());
     util::Rng rng(seed);
     w.canonicalData = synth::generateRuntimeData(w.graph, rng, base_n);
     for (int i = 0; i < 6; ++i)

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Verifier tests: malformed-IR rejection with actionable diagnostics,
+ * the clean-corpus sweep (every workload program and synthesizer output
+ * verifies without errors), and parser wiring.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dfir/builder.h"
+#include "dfir/parser.h"
+#include "dfir/verify.h"
+#include "synth/generators.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace llmulator;
+using namespace llmulator::dfir;
+
+/** A minimal well-formed one-operator graph the tests then break. */
+DataflowGraph
+makeCleanGraph()
+{
+    Operator op;
+    op.name = "scale";
+    op.scalarParams = {"N"};
+    op.tensors = {tensor("X", {p("N")})};
+    op.body = {forLoop("i", c(0), p("N"),
+                       {assign("X", {v("i")},
+                               bmul(a("X", {v("i")}), c(3)))})};
+    DataflowGraph g;
+    g.name = "clean";
+    g.ops = {op};
+    g.calls = {{"scale"}};
+    return g;
+}
+
+TEST(Verify, CleanGraphHasNoDiagnostics)
+{
+    auto res = verify(makeCleanGraph());
+    EXPECT_TRUE(res.ok()) << res.str();
+    EXPECT_EQ(res.diags.size(), 0u) << res.str();
+}
+
+TEST(Verify, RejectsCallToUndefinedOperator)
+{
+    auto g = makeCleanGraph();
+    g.calls.push_back({"missing_op"});
+    auto res = verify(g);
+    EXPECT_FALSE(res.ok());
+    EXPECT_NE(res.str().find("missing_op"), std::string::npos)
+        << res.str();
+    EXPECT_NE(res.str().find("undefined operator"), std::string::npos);
+}
+
+TEST(Verify, RejectsNonPositiveLoopStep)
+{
+    auto g = makeCleanGraph();
+    Operator& op = g.ops[0];
+    auto bad = std::make_shared<Stmt>(*op.body[0]);
+    bad->loop.step = 0;
+    op.body = {bad};
+    auto res = verify(g);
+    EXPECT_FALSE(res.ok());
+    EXPECT_NE(res.str().find("non-positive step"), std::string::npos)
+        << res.str();
+    EXPECT_NE(res.str().find("'i'"), std::string::npos);
+}
+
+TEST(Verify, RejectsLoopVariableShadowing)
+{
+    auto g = makeCleanGraph();
+    Operator& op = g.ops[0];
+    // for (i ...) { for (i ...) { ... } }
+    op.body = {forLoop(
+        "i", c(0), p("N"),
+        {forLoop("i", c(0), c(4),
+                 {assign("X", {v("i")}, c(0))})})};
+    auto res = verify(g);
+    EXPECT_FALSE(res.ok());
+    EXPECT_NE(res.str().find("shadows an enclosing loop variable"),
+              std::string::npos)
+        << res.str();
+}
+
+TEST(Verify, RejectsUndeclaredArrayReference)
+{
+    auto g = makeCleanGraph();
+    Operator& op = g.ops[0];
+    op.body = {forLoop("i", c(0), p("N"),
+                       {assign("X", {v("i")}, a("ghost", {v("i")}))})};
+    auto res = verify(g);
+    EXPECT_FALSE(res.ok());
+    EXPECT_NE(res.str().find("'ghost'"), std::string::npos) << res.str();
+    EXPECT_NE(res.str().find("does not name a declared tensor"),
+              std::string::npos);
+}
+
+TEST(Verify, RejectsUndeclaredScalar)
+{
+    auto g = makeCleanGraph();
+    Operator& op = g.ops[0];
+    op.body = {forLoop("i", c(0), p("M"), // M never declared
+                       {assign("X", {v("i")}, c(1))})};
+    auto res = verify(g);
+    EXPECT_FALSE(res.ok());
+    EXPECT_NE(res.str().find("'M'"), std::string::npos) << res.str();
+    EXPECT_NE(res.str().find("not a declared parameter"),
+              std::string::npos);
+}
+
+TEST(Verify, RejectsNonPredicateBranchCondition)
+{
+    auto g = makeCleanGraph();
+    Operator& op = g.ops[0];
+    op.body = {forLoop(
+        "i", c(0), p("N"),
+        {ifStmt(badd(a("X", {v("i")}), c(1)), // arithmetic, not predicate
+                {assign("X", {v("i")}, c(0))})})};
+    auto res = verify(g);
+    EXPECT_FALSE(res.ok());
+    EXPECT_NE(res.str().find("not a predicate"), std::string::npos)
+        << res.str();
+}
+
+TEST(Verify, RejectsTensorDimReferencingLoopVariable)
+{
+    auto g = makeCleanGraph();
+    Operator& op = g.ops[0];
+    op.tensors = {tensor("X", {v("i")})};
+    auto res = verify(g);
+    EXPECT_FALSE(res.ok());
+    EXPECT_NE(res.str().find("dimension references loop variable"),
+              std::string::npos)
+        << res.str();
+}
+
+TEST(Verify, RejectsTensorDimReferencingUndeclaredScalar)
+{
+    auto g = makeCleanGraph();
+    g.ops[0].tensors = {tensor("X", {p("Q")})};
+    auto res = verify(g);
+    EXPECT_FALSE(res.ok());
+    EXPECT_NE(res.str().find("'Q'"), std::string::npos) << res.str();
+}
+
+TEST(Verify, RejectsDuplicateDeclarations)
+{
+    auto g = makeCleanGraph();
+    g.ops.push_back(g.ops[0]); // duplicate operator definition
+    auto res = verify(g);
+    EXPECT_FALSE(res.ok());
+    EXPECT_NE(res.str().find("duplicate operator definition"),
+              std::string::npos)
+        << res.str();
+
+    auto g2 = makeCleanGraph();
+    g2.ops[0].tensors.push_back(g2.ops[0].tensors[0]);
+    auto res2 = verify(g2);
+    EXPECT_FALSE(res2.ok());
+    EXPECT_NE(res2.str().find("duplicate tensor declaration"),
+              std::string::npos)
+        << res2.str();
+}
+
+TEST(Verify, RejectsInvalidHardwareParams)
+{
+    auto g = makeCleanGraph();
+    g.params.readPorts = 0;
+    auto res = verify(g);
+    EXPECT_FALSE(res.ok());
+    EXPECT_NE(res.str().find("ports must be >= 1"), std::string::npos)
+        << res.str();
+}
+
+TEST(Verify, RejectsAssignmentToLoopVariable)
+{
+    auto g = makeCleanGraph();
+    g.ops[0].body = {forLoop("i", c(0), p("N"),
+                             {assignScalar("i", c(7))})};
+    auto res = verify(g);
+    EXPECT_FALSE(res.ok());
+    EXPECT_NE(res.str().find("enclosing loop variable"),
+              std::string::npos)
+        << res.str();
+}
+
+TEST(Verify, ScalarTempReadsAreWellFormed)
+{
+    // A temp assigned in one statement and read later (even by another
+    // operator: the simulator's scalar environment is graph-global) is
+    // legal.
+    auto g = makeCleanGraph();
+    Operator& op = g.ops[0];
+    op.body = {
+        assignScalar("acc", c(0)),
+        forLoop("i", c(0), p("N"),
+                {assignScalar("acc", badd(p("acc"), a("X", {v("i")}))),
+                 assign("X", {v("i")}, p("acc"))})};
+    auto res = verify(g);
+    EXPECT_TRUE(res.ok()) << res.str();
+}
+
+TEST(Verify, CorpusSweepWorkloadsAreClean)
+{
+    // Every evaluation workload must verify without a single Error.
+    auto suites = {workloads::polybench(), workloads::modern(),
+                   workloads::accelerators()};
+    for (const auto& suite : suites) {
+        for (const auto& w : suite) {
+            SCOPED_TRACE(w.name);
+            auto res = verify(w.graph);
+            EXPECT_TRUE(res.ok()) << res.str();
+        }
+    }
+}
+
+TEST(Verify, CorpusSweepSynthesizerOutputsAreClean)
+{
+    util::Rng rng(20260809);
+    synth::GenConfig gen;
+    for (int i = 0; i < 40; ++i) {
+        auto ast = synth::generateAstProgram(rng, gen);
+        auto res_ast = verify(ast);
+        EXPECT_TRUE(res_ast.ok()) << res_ast.str();
+
+        auto df = synth::generateDataflowProgram(rng, gen);
+        auto res_df = verify(df);
+        EXPECT_TRUE(res_df.ok()) << res_df.str();
+
+        auto mut = synth::mutateProgram(df, rng, gen);
+        synth::augmentHardware(mut, rng, {10, 5, 2});
+        auto res_mut = verify(mut);
+        EXPECT_TRUE(res_mut.ok()) << res_mut.str();
+    }
+}
+
+TEST(Verify, ParserPopulatesDiagnostics)
+{
+    // Syntactically valid, semantically broken: dataflow() calls an
+    // operator that is never defined.
+    auto res = parseProgram("void f(float A[4]) { A[0] = 1; }\n"
+                            "void dataflow() { f(); ghost(); }\n");
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_FALSE(res.diagnostics.ok());
+    EXPECT_NE(res.diagnostics.str().find("ghost"), std::string::npos);
+
+    auto clean = parseProgram("void f(float A[4]) { A[0] = 1; }\n"
+                              "void dataflow() { f(); }\n");
+    ASSERT_TRUE(clean.ok) << clean.error;
+    EXPECT_TRUE(clean.diagnostics.ok()) << clean.diagnostics.str();
+}
+
+} // namespace

@@ -18,10 +18,13 @@
 #include <thread>
 
 #include "dfir/builder.h"
+#include "dfir/passes.h"
 #include "model/fast_encoder.h"
 #include "serve/request_queue.h"
 #include "serve/result_cache.h"
 #include "serve/server.h"
+#include "synth/generators.h"
+#include "util/rng.h"
 
 using namespace llmulator;
 using namespace llmulator::dfir;
@@ -242,6 +245,44 @@ TEST(PredictionServer, CacheServesRepeatsWithoutModelCalls)
     RuntimeData d2 = makeData(13);
     server.predict(g, &d2, model::Metric::Cycles);
     EXPECT_EQ(server.stats().modelCalls, 2u);
+}
+
+// Pinned canonical-key behaviour: two semantically identical programs
+// (renamed values, commuted operands, injected dead code) share one
+// cache entry — the second query is a hit with a bitwise-equal
+// prediction — while raw structural keys treat them as distinct.
+TEST(PredictionServer, CanonicalKeysShareCacheAcrossEquivalentPrograms)
+{
+    DataflowGraph g = makeGraph("canon-base", 7);
+    RuntimeData d = makeData(12);
+    util::Rng rng(2026);
+    synth::EquivalentMutant mut = synth::equivalentMutant(g, rng);
+    ASSERT_NE(structuralHash(g), structuralHash(mut.graph));
+    ASSERT_EQ(canonicalHash(g), canonicalHash(mut.graph));
+    RuntimeData md = remapRuntimeData(d, mut.scalarRenames);
+
+    {
+        serve::ServeConfig cfg;
+        cfg.workers = 2; // canonicalCacheKeys defaults to true
+        serve::PredictionServer server(tinyModel(), cfg);
+        auto first = server.predict(g, &d, model::Metric::Cycles);
+        EXPECT_EQ(server.stats().modelCalls, 1u);
+        auto second = server.predict(mut.graph, &md, model::Metric::Cycles);
+        auto stats = server.stats();
+        EXPECT_EQ(stats.modelCalls, 1u); // equivalent program never re-ran
+        EXPECT_EQ(stats.cacheHits, 1u);
+        expectSamePrediction(second, first);
+    }
+    {
+        serve::ServeConfig cfg;
+        cfg.workers = 2;
+        cfg.canonicalCacheKeys = false;
+        serve::PredictionServer server(tinyModel(), cfg);
+        server.predict(g, &d, model::Metric::Cycles);
+        server.predict(mut.graph, &md, model::Metric::Cycles);
+        EXPECT_EQ(server.stats().modelCalls, 2u); // raw keys: both miss
+        EXPECT_EQ(server.stats().cacheHits, 0u);
+    }
 }
 
 TEST(PredictionServer, ManyConcurrentClientThreads)
