@@ -15,8 +15,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "harness/harness.h"
+#include "obs/metrics.h"
 
 namespace llmulator {
 namespace bench {
@@ -46,6 +48,21 @@ csv(const char* name, const char* metric, double value)
 {
     std::printf("%s,%s,%.6g\n", name, metric, value);
     std::fflush(stdout);
+}
+
+/**
+ * Flatten a metrics registry snapshot into the bench CSV stream: one
+ * `<benchName>,<instrument>.<metric>,<value>` line per registry row
+ * (counters: .count; gauges: .value; histograms: .count/.sum/.mean/
+ * .min/.max/.p50/.p95/.p99). `prefix` filters by instrument-name
+ * prefix, e.g. "nn." for just the GEMM counters.
+ */
+inline void
+dumpRegistryCsv(const char* benchName, const obs::Registry& reg,
+                const std::string& prefix = "")
+{
+    for (const obs::Registry::Row& row : reg.rows(prefix))
+        csv(benchName, (row.name + "." + row.metric).c_str(), row.value);
 }
 
 } // namespace bench

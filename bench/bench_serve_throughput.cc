@@ -16,6 +16,16 @@
  *   serve_throughput,speedup_b<B>,<rps_bB / rps_b1>
  *   serve_throughput,cached_rps,<req/s, cache enabled, repeat mix>
  *   serve_throughput,cache_hit_rate,<fraction in [0,1]>
+ *   serve_throughput,queue_wait_p99_ms_w<N>,<queue-wait p99, N workers>
+ *   serve_throughput,stage_share_<stage>,<stage share of per-batch
+ *     stage time, 4-worker run: assembly|forward|decode|cache_fill>
+ *   serve_throughput,serve.*,<stage-histogram registry rows from one
+ *     instrumented pass>
+ *   serve_throughput,nn.*,<GEMM call/FLOP counters from the same pass>
+ *
+ * The instrumented pass runs AFTER every timed phase (and the global
+ * metrics gate stays off during them), so the rps/p95 rows above are
+ * never polluted by telemetry cost.
  *
  * Multi-worker speedup tracks the machine's core count: on a 1-core
  * host the w4/w8 rows land near 1.0, on CI-class 4-vCPU hosts they
@@ -72,6 +82,7 @@ struct RunResult
     double rps = 0;
     double p95Ms = 0;
     double hitRate = 0;
+    serve::ServerStats stats; //!< full snapshot, taken before teardown
 };
 
 /**
@@ -121,6 +132,7 @@ runConfig(const model::CostModel& base, const serve::ServeConfig& cfg,
     res.rps = elapsed <= 0 ? 0 : double(stats.completed) / elapsed;
     res.p95Ms = stats.p95LatencyMs;
     res.hitRate = stats.hitRate();
+    res.stats = stats;
     return res;
 }
 
@@ -170,10 +182,29 @@ main(int argc, char** argv)
                    util::format("rps_w%d", workers).c_str(), r.rps);
         bench::csv("serve_throughput",
                    util::format("p95_ms_w%d", workers).c_str(), r.p95Ms);
+        bench::csv("serve_throughput",
+                   util::format("queue_wait_p99_ms_w%d", workers).c_str(),
+                   r.stats.queueWaitP99Ms);
         if (workers > 1)
             bench::csv("serve_throughput",
                        util::format("speedup_w%d", workers).c_str(),
                        speedup);
+        if (workers == 4) {
+            // Per-stage share of the summed per-batch stage means, so
+            // the trajectory shows where batch wall time goes.
+            double tot = r.stats.meanAssemblyMs + r.stats.meanForwardMs +
+                         r.stats.meanDecodeMs + r.stats.meanCacheFillMs;
+            if (tot > 0) {
+                bench::csv("serve_throughput", "stage_share_assembly",
+                           r.stats.meanAssemblyMs / tot);
+                bench::csv("serve_throughput", "stage_share_forward",
+                           r.stats.meanForwardMs / tot);
+                bench::csv("serve_throughput", "stage_share_decode",
+                           r.stats.meanDecodeMs / tot);
+                bench::csv("serve_throughput", "stage_share_cache_fill",
+                           r.stats.meanCacheFillMs / tot);
+            }
+        }
     }
     std::printf("== worker scaling (cache disabled) ==\n");
     table.print();
@@ -223,5 +254,24 @@ main(int argc, char** argv)
                 r.rps, r.hitRate * 100.0);
     bench::csv("serve_throughput", "cached_rps", r.rps);
     bench::csv("serve_throughput", "cache_hit_rate", r.hitRate);
+
+    // Phase 3 — one instrumented pass, AFTER every timed phase so the
+    // pinned rps/p95 rows above never carry telemetry cost: turn the
+    // global metrics gate on to count GEMM calls/FLOPs under the
+    // serving forward, and snapshot the server's own stage histograms.
+    obs::registry().reset();
+    obs::setMetricsEnabled(true);
+    {
+        serve::ServeConfig cfg;
+        cfg.workers = 2;
+        cfg.cacheCapacity = 0;
+        serve::PredictionServer server(model->clone(), cfg);
+        for (const Query& q : queries)
+            server.predict(q.w->graph, q.data, q.metric);
+        server.stop();
+        bench::dumpRegistryCsv("serve_throughput", server.telemetry());
+    }
+    bench::dumpRegistryCsv("serve_throughput", obs::registry(), "nn.");
+    obs::setMetricsEnabled(false);
     return 0;
 }

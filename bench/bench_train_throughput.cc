@@ -20,6 +20,9 @@
  *   train_throughput,intra_samples_per_sec_b<B>,<v>   (intra-batch mode)
  *   train_throughput,intra_speedup_b<B>,<v vs 1-thread per-sample at the
  *                                        same batch size>
+ *   train_throughput,nn.*,<GEMM call/FLOP counters and trainer gauges
+ *     from one short instrumented epoch, run AFTER the timed sweeps so
+ *     the rows above stay free of telemetry overhead>
  *
  * Speedups depend on the machine: on a single-core container all thread
  * counts necessarily measure ~1x; the scaling target (>= 2x at 8
@@ -149,5 +152,20 @@ main(int argc, char** argv)
                        ? 0
                        : r.samplesPerSec / base.samplesPerSec);
     }
+
+    // Instrumented pass, AFTER every timed sweep so the throughput rows
+    // above never carry telemetry cost: one short single-threaded epoch
+    // with the global metrics gate on, dumping GEMM call/FLOP counters
+    // (per kernel per backend) and the trainer step/loss gauges.
+    obs::registry().reset();
+    obs::setMetricsEnabled(true);
+    {
+        harness::TrainConfig icfg = tcfg;
+        icfg.epochs = 1;
+        runAt(1, mcfg, ds, encs, icfg);
+    }
+    obs::setMetricsEnabled(false);
+    bench::dumpRegistryCsv("train_throughput", obs::registry(), "nn.");
+    bench::dumpRegistryCsv("train_throughput", obs::registry(), "trainer.");
     return 0;
 }

@@ -8,6 +8,8 @@
  *   ./profile_cli program.df            # profile only
  *   ./profile_cli --predict program.df  # profile + model prediction
  *   echo "..." | ./profile_cli -        # read from stdin
+ *   ./profile_cli --trace out.json ...  # export trace spans
+ *                                       # (chrome://tracing JSON)
  *
  * Scalar runtime inputs can be appended to the program text as
  * "name = value" lines.
@@ -23,6 +25,7 @@
 #include "dfir/parser.h"
 #include "eval/metrics.h"
 #include "harness/harness.h"
+#include "obs/trace.h"
 #include "sim/profiler.h"
 
 using namespace llmulator;
@@ -54,11 +57,36 @@ main(int argc, char** argv)
     std::setvbuf(stdout, nullptr, _IOLBF, 0);
     bool predict = false;
     std::string path;
+    std::string tracePath;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--predict") == 0)
+        if (std::strcmp(argv[i], "--predict") == 0) {
             predict = true;
-        else
+        } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+            tracePath = argv[++i];
+        } else {
             path = argv[i];
+        }
+    }
+
+    // --trace: record sim/trainer spans for this run and export them as
+    // chrome://tracing JSON on every exit path (RAII; the CLI is
+    // single-threaded, so collection is always quiescent).
+    struct TraceExport
+    {
+        std::string path;
+        ~TraceExport()
+        {
+            if (path.empty())
+                return;
+            if (obs::writeChromeTraceFile(path))
+                std::printf("trace written to %s (load in "
+                            "chrome://tracing)\n",
+                            path.c_str());
+        }
+    } traceExport;
+    if (!tracePath.empty()) {
+        obs::setTraceEnabled(true);
+        traceExport.path = tracePath;
     }
 
     std::string text;

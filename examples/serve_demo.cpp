@@ -9,6 +9,9 @@
  *
  *   ./serve_demo            # full corpus
  *   LLMULATOR_SMOKE=1 ./serve_demo   # seconds, used by the smoke test
+ *   LLMULATOR_TRACE=1 ./serve_demo   # also write a chrome://tracing
+ *                                    # JSON (LLMULATOR_TRACE_FILE, or
+ *                                    # serve_demo_trace.json)
  */
 
 #include <atomic>
@@ -18,7 +21,9 @@
 
 #include "harness/harness.h"
 #include "model/fast_encoder.h"
+#include "obs/trace.h"
 #include "serve/server.h"
+#include "util/env.h"
 #include "workloads/workloads.h"
 
 using namespace llmulator;
@@ -89,9 +94,16 @@ main()
                 kClients, served.load(),
                 static_cast<unsigned long long>(stats.submitted),
                 static_cast<unsigned long long>(stats.completed));
-    std::printf("throughput=%.1f req/s  p50=%.2fms  p95=%.2fms\n",
-                stats.throughputRps, stats.p50LatencyMs,
-                stats.p95LatencyMs);
+    std::printf("throughput=%.1f req/s  p50=%.2fms  p95=%.2fms  "
+                "p99=%.2fms\n",
+                stats.throughputRps, stats.p50LatencyMs, stats.p95LatencyMs,
+                stats.p99LatencyMs);
+    std::printf("queue_wait: mean=%.2fms p99=%.2fms\n",
+                stats.meanQueueWaitMs, stats.queueWaitP99Ms);
+    std::printf("stages: assembly=%.2fms forward=%.2fms decode=%.2fms "
+                "cache_fill=%.2fms (per-batch means)\n",
+                stats.meanAssemblyMs, stats.meanForwardMs,
+                stats.meanDecodeMs, stats.meanCacheFillMs);
     std::printf("cache: hits=%llu misses=%llu hit_rate=%.1f%%  "
                 "model_calls=%llu  mean_batch=%.2f\n",
                 static_cast<unsigned long long>(stats.cacheHits),
@@ -121,6 +133,19 @@ main()
                     static_cast<unsigned long long>(stats.submitted),
                     static_cast<unsigned long long>(stats.completed));
         return 1;
+    }
+
+    // 6. With LLMULATOR_TRACE=1, export the request/batch/stage spans
+    //    as chrome://tracing JSON. stop() first: span collection wants
+    //    the worker threads quiescent.
+    if (obs::traceEnabled()) {
+        server.stop();
+        std::string path = util::envString("LLMULATOR_TRACE_FILE",
+                                           "serve_demo_trace.json");
+        if (!obs::writeChromeTraceFile(path))
+            return 1;
+        std::printf("trace written to %s (load in chrome://tracing)\n",
+                    path.c_str());
     }
     return 0;
 }

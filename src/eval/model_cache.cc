@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include "nn/serialize.h"
+#include "util/env.h"
 #include "util/string_util.h"
 
 namespace llmulator {
@@ -15,8 +16,7 @@ namespace eval {
 std::string
 cacheDir()
 {
-    const char* env = std::getenv("LLMULATOR_CACHE_DIR");
-    std::string dir = env ? env : ".model_cache";
+    std::string dir = util::envString("LLMULATOR_CACHE_DIR", ".model_cache");
     ::mkdir(dir.c_str(), 0755); // best effort; EEXIST is fine
     return dir;
 }

@@ -19,6 +19,7 @@
 #include "sim/profiler.h"
 #include "synth/generators.h"
 #include "util/common.h"
+#include "util/env.h"
 #include "util/string_util.h"
 
 namespace llmulator {
@@ -36,8 +37,7 @@ smokeMode()
 {
     if (g_forced_smoke >= 0)
         return g_forced_smoke != 0;
-    const char* env = std::getenv("LLMULATOR_SMOKE");
-    return env != nullptr && std::strcmp(env, "0") != 0;
+    return util::envFlag("LLMULATOR_SMOKE", false);
 }
 
 void

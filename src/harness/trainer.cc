@@ -8,7 +8,10 @@
 #include <thread>
 
 #include "nn/ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/common.h"
+#include "util/env.h"
 #include "util/rng.h"
 
 namespace llmulator {
@@ -109,11 +112,9 @@ resolveTrainThreads(int requested)
 {
     if (requested > 0)
         return requested;
-    if (const char* env = std::getenv("LLMULATOR_TRAIN_THREADS")) {
-        int n = std::atoi(env);
-        if (n > 0)
-            return n;
-    }
+    int n = util::envInt("LLMULATOR_TRAIN_THREADS", 0);
+    if (n > 0)
+        return n;
     unsigned hw = std::thread::hardware_concurrency();
     return static_cast<int>(std::min(8u, std::max(1u, hw)));
 }
@@ -159,10 +160,30 @@ trainMinibatch(const std::vector<nn::TensorPtr>& master,
 
     WorkerPool pool(intra ? 1 : threads);
 
+    // Speed-only telemetry (global registry, gated): step/sample
+    // counters plus a per-step gradient-norm gauge. lastGradNorm() is
+    // computed by AdamW::step() regardless, so recording it adds no
+    // math; nothing here feeds back into training.
+    auto recordStepMetrics = [&](size_t nbatch) {
+        if (!obs::metricsEnabled())
+            return;
+        static obs::Counter& steps =
+            obs::registry().counter("trainer.steps");
+        static obs::Counter& samples =
+            obs::registry().counter("trainer.samples");
+        static obs::Gauge& gradNorm =
+            obs::registry().gauge("trainer.grad_norm");
+        steps.add(1);
+        samples.add(nbatch);
+        gradNorm.set(opt.lastGradNorm());
+    };
+
     for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+        OBS_SPAN("trainer.epoch");
         rng.shuffle(order);
         double lossSum = 0.0;
         for (size_t start = 0; start < num_samples; start += batch) {
+            OBS_SPAN("trainer.minibatch");
             const size_t nb = std::min(batch, num_samples - start);
             const float inv = 1.f / static_cast<float>(nb);
 
@@ -178,6 +199,7 @@ trainMinibatch(const std::vector<nn::TensorPtr>& master,
                 nn::TensorPtr mean = nn::scale(bl.total, inv);
                 mean->backward();
                 opt.step();
+                recordStepMetrics(nb);
                 for (double l : bl.sampleLoss)
                     lossSum += l;
                 ++stats.steps;
@@ -210,11 +232,15 @@ trainMinibatch(const std::vector<nn::TensorPtr>& master,
                 lossSum += slotLoss[p];
             }
             opt.step();
+            recordStepMetrics(nb);
             ++stats.steps;
             stats.samples += static_cast<long>(nb);
         }
         stats.epochLoss.push_back(lossSum /
                                   static_cast<double>(num_samples));
+        if (obs::metricsEnabled())
+            obs::registry().gauge("trainer.loss").set(
+                stats.epochLoss.back());
         if (!cfg.tag.empty()) {
             std::printf("[train] %s: epoch %d/%d done (loss %.5f)\n",
                         cfg.tag.c_str(), epoch + 1, cfg.epochs,

@@ -6,6 +6,7 @@
 
 #include "nn/kernels.h"
 #include "util/common.h"
+#include "util/env.h"
 
 namespace llmulator {
 namespace nn {
@@ -70,8 +71,7 @@ resolveByName(const std::string& name)
 void
 initFromEnv()
 {
-    const char* env = std::getenv("LLMULATOR_NN_BACKEND");
-    std::string name = env ? env : "";
+    std::string name = util::envString("LLMULATOR_NN_BACKEND");
     const Backend* chosen = resolveByName(name);
     LLM_CHECK(chosen, "LLMULATOR_NN_BACKEND must be scalar, vector, or "
                       "auto (got '" << name << "')");

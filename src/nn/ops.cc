@@ -4,6 +4,7 @@
 
 #include "nn/backend.h"
 #include "nn/kernels.h" // kGeluC/kGeluA, shared with the backend kernels
+#include "obs/metrics.h"
 #include "util/common.h"
 
 namespace llmulator {
@@ -28,6 +29,42 @@ anyRequiresGrad(const TensorPtr& a, const TensorPtr& b)
     return a->requiresGrad || b->requiresGrad;
 }
 
+/**
+ * Per-kernel, per-backend GEMM call/FLOP counters in the global
+ * registry (`nn.<kernel>.<backend>.{calls,flops}`), gated by
+ * LLMULATOR_METRICS. A thread-local cache keyed by the backend pointer
+ * keeps the enabled hot path free of name building and registry
+ * lookups; disabled cost is one relaxed load + branch. Speed-only:
+ * counting observes the dispatch, it never changes it.
+ */
+enum GemmKernel { kGemmAccum = 0, kGemmAccumBt = 1, kGemmAccumAt = 2 };
+
+void
+countGemm(GemmKernel kernel, const Backend& be, uint64_t flops)
+{
+    if (!obs::metricsEnabled())
+        return;
+    static const char* const kKernelNames[3] = {
+        "gemm_accum", "gemm_accum_bt", "gemm_accum_at"};
+    struct Entry
+    {
+        const Backend* be = nullptr;
+        obs::Counter* calls = nullptr;
+        obs::Counter* flops = nullptr;
+    };
+    thread_local Entry cache[3];
+    Entry& e = cache[kernel];
+    if (e.be != &be) {
+        std::string base =
+            std::string("nn.") + kKernelNames[kernel] + "." + be.name;
+        e.calls = &obs::registry().counter(base + ".calls");
+        e.flops = &obs::registry().counter(base + ".flops");
+        e.be = &be;
+    }
+    e.calls->add(1);
+    e.flops->add(flops);
+}
+
 } // namespace
 
 TensorPtr
@@ -37,23 +74,34 @@ matmul(const TensorPtr& a, const TensorPtr& b)
               "matmul shape mismatch " << a->rows << "x" << a->cols << " * "
                                        << b->rows << "x" << b->cols);
     auto out = Tensor::zeros(a->rows, b->cols);
-    backend().gemmAccum(a->value.data(), b->value.data(),
-                        out->value.data(), a->rows, a->cols, b->cols);
+    {
+        const Backend& be = backend();
+        be.gemmAccum(a->value.data(), b->value.data(), out->value.data(),
+                     a->rows, a->cols, b->cols);
+        countGemm(kGemmAccum, be,
+                  2ull * uint64_t(a->rows) * uint64_t(a->cols) *
+                      uint64_t(b->cols));
+    }
     if (anyRequiresGrad(a, b)) {
         out->requiresGrad = true;
         out->parents = {a, b};
         Tensor* self = out.get();
         out->backwardFn = [self, a, b]() {
             int m = a->rows, k = a->cols, n = b->cols;
+            const Backend& be = backend();
+            uint64_t flops =
+                2ull * uint64_t(m) * uint64_t(k) * uint64_t(n);
             if (a->requiresGrad) {
                 a->ensureGrad();
-                backend().gemmAccumBt(self->grad.data(), b->value.data(),
-                                      a->grad.data(), m, k, n);
+                be.gemmAccumBt(self->grad.data(), b->value.data(),
+                               a->grad.data(), m, k, n);
+                countGemm(kGemmAccumBt, be, flops);
             }
             if (b->requiresGrad) {
                 b->ensureGrad();
-                backend().gemmAccumAt(a->value.data(), self->grad.data(),
-                                      b->grad.data(), m, k, n);
+                be.gemmAccumAt(a->value.data(), self->grad.data(),
+                               b->grad.data(), m, k, n);
+                countGemm(kGemmAccumAt, be, flops);
             }
         };
     }

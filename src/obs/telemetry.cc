@@ -1,0 +1,41 @@
+#include "obs/telemetry.h"
+
+#include "util/env.h"
+
+namespace llmulator {
+namespace obs {
+
+namespace detail {
+
+GateFlag g_metricsGate{{-1}, "LLMULATOR_METRICS"};
+GateFlag g_traceGate{{-1}, "LLMULATOR_TRACE"};
+
+bool
+GateFlag::resolve()
+{
+    bool on = util::envFlag(envName, false);
+    // A concurrent setMetricsEnabled()/setTraceEnabled() may have won
+    // the race; only install the environment answer over "unresolved".
+    int expected = -1;
+    state.compare_exchange_strong(expected, on ? 1 : 0,
+                                  std::memory_order_relaxed);
+    return state.load(std::memory_order_relaxed) != 0;
+}
+
+} // namespace detail
+
+void
+setMetricsEnabled(bool on)
+{
+    detail::g_metricsGate.state.store(on ? 1 : 0,
+                                      std::memory_order_relaxed);
+}
+
+void
+setTraceEnabled(bool on)
+{
+    detail::g_traceGate.state.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+} // namespace obs
+} // namespace llmulator

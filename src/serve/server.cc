@@ -5,27 +5,20 @@
 
 #include "dfir/ir.h"
 #include "dfir/passes.h"
+#include "obs/trace.h"
 
 namespace llmulator {
 namespace serve {
 
 namespace {
 
-/** Percentile-window size: large enough for stable p95, small enough
- *  that snapshotting under the lock stays cheap. */
-constexpr size_t kLatencyWindow = 4096;
+using Clock = std::chrono::steady_clock;
 
 double
-msSince(std::chrono::steady_clock::time_point t0)
+msBetween(Clock::time_point a, Clock::time_point b)
 {
-    return std::chrono::duration<double, std::milli>(
-               std::chrono::steady_clock::now() - t0)
-        .count();
+    return std::chrono::duration<double, std::milli>(b - a).count();
 }
-
-} // namespace
-
-namespace {
 
 /** Clamp degenerate knobs so config() reports the effective values. */
 ServeConfig
@@ -46,9 +39,14 @@ PredictionServer::PredictionServer(std::unique_ptr<model::CostModel> model,
       model_(std::move(model)),
       cache_(cfg_.cacheCapacity, cfg_.cacheShards),
       queue_(cfg_.queueCapacity),
-      startTime_(std::chrono::steady_clock::now())
+      startTime_(Clock::now()),
+      e2eMs_(telemetry_.histogram("serve.e2e_ms")),
+      queueWaitMs_(telemetry_.histogram("serve.queue_wait_ms")),
+      assemblyMs_(telemetry_.histogram("serve.stage.assembly_ms")),
+      forwardMs_(telemetry_.histogram("serve.stage.forward_ms")),
+      decodeMs_(telemetry_.histogram("serve.stage.decode_ms")),
+      cacheFillMs_(telemetry_.histogram("serve.stage.cache_fill_ms"))
 {
-    latencyWindowMs_.reserve(kLatencyWindow);
     workers_.reserve(cfg_.workers);
     for (int i = 0; i < cfg_.workers; ++i)
         workers_.emplace_back([this] { workerLoop(); });
@@ -65,6 +63,7 @@ PredictionServer::submitAsync(const dfir::DataflowGraph& g,
                               model::Metric metric)
 {
     Request req;
+    req.id = reqSeq_.fetch_add(1, std::memory_order_relaxed) + 1;
     if (cfg_.canonicalCacheKeys) {
         // Canonical keys: equivalent programs (renamed values, commuted
         // operands, dead code) collide on one entry. The input hash is
@@ -82,7 +81,7 @@ PredictionServer::submitAsync(const dfir::DataflowGraph& g,
     }
     req.key.metric = static_cast<int>(metric);
     req.metric = metric;
-    req.submitTime = std::chrono::steady_clock::now();
+    req.submitTime = Clock::now();
     auto future = req.promise.get_future();
 
     if (stopped_.load(std::memory_order_acquire)) {
@@ -134,8 +133,6 @@ PredictionServer::workerLoop()
     std::vector<Request> batch;
     while (queue_.popBatch(batch, static_cast<size_t>(cfg_.batchMax),
                            std::chrono::microseconds(cfg_.batchTimeoutUs))) {
-        batches_.fetch_add(1, std::memory_order_relaxed);
-        dispatched_.fetch_add(batch.size(), std::memory_order_relaxed);
         processBatch(batch, session);
     }
 }
@@ -144,6 +141,27 @@ void
 PredictionServer::processBatch(std::vector<Request>& batch,
                                model::InferenceSession& session)
 {
+    const uint64_t batchId =
+        batches_.fetch_add(1, std::memory_order_relaxed) + 1;
+    dispatched_.fetch_add(batch.size(), std::memory_order_relaxed);
+
+    // Stage boundaries are stamped so every queue-dispatched request's
+    // end-to-end span strictly contains its queue-wait, the batch
+    // forward, and its metric bucket's decode as disjoint sub-intervals
+    // (pinned by test_serve): decode and cache fill are timed BEFORE
+    // any of their bucket's fulfil calls run.
+    const auto batchStart = Clock::now();
+    OBS_SPAN_ID("serve.batch", batchId);
+
+    // Queue wait per member: submit -> micro-batch start. The span is
+    // retroactive because the interval started on the client's thread.
+    for (Request& req : batch) {
+        queueWaitMs_.record(msBetween(req.submitTime, batchStart));
+        if (obs::traceEnabled())
+            obs::recordSpan("serve.queue_wait", req.submitTime, batchStart,
+                            req.id);
+    }
+
     // Group cache misses by (program, input): those requests share one
     // tokenization + encoder forward, the dominant per-request cost.
     // Requests for the same key additionally share the head decode.
@@ -196,7 +214,20 @@ PredictionServer::processBatch(std::vector<Request>& batch,
     }
     for (const auto& ep : eps)
         epPtrs.push_back(&ep);
+
+    // Assembly stage: cache probe + grouping + tokenize/encode.
+    const auto assemblyEnd = Clock::now();
+    assemblyMs_.record(msBetween(batchStart, assemblyEnd));
+    if (obs::traceEnabled())
+        obs::recordSpan("serve.batch_assembly", batchStart, assemblyEnd,
+                        batchId);
+
     nn::TensorPtr pooled = session.forwardPooledBatch(epPtrs);
+
+    const auto forwardEnd = Clock::now();
+    forwardMs_.record(msBetween(assemblyEnd, forwardEnd));
+    if (obs::traceEnabled())
+        obs::recordSpan("serve.forward", assemblyEnd, forwardEnd, batchId);
 
     // One decode per distinct key, bucketed by metric so every bucket
     // shares a single batched beam-search decode; duplicate requests in
@@ -229,6 +260,7 @@ PredictionServer::processBatch(std::vector<Request>& batch,
                 bucket.push_back(&j);
         if (bucket.empty())
             continue;
+        const auto decodeStart = Clock::now();
         // Gather the bucket's pooled rows (row copies preserve bits).
         std::vector<float> rows(bucket.size() * size_t(dim));
         for (size_t bi = 0; bi < bucket.size(); ++bi) {
@@ -242,32 +274,36 @@ PredictionServer::processBatch(std::vector<Request>& batch,
             model_->head(static_cast<model::Metric>(m))
                 .decodeBatch(bucketPooled, cfg_.beamWidth);
         modelCalls_.fetch_add(preds.size(), std::memory_order_relaxed);
-        for (size_t bi = 0; bi < bucket.size(); ++bi) {
+
+        const auto decodeEnd = Clock::now();
+        decodeMs_.record(msBetween(decodeStart, decodeEnd));
+        if (obs::traceEnabled())
+            obs::recordSpan("serve.decode", decodeStart, decodeEnd, batchId);
+
+        // Cache fill for the whole bucket, then fulfil: the fill is
+        // timed before any member's end-to-end span closes.
+        for (size_t bi = 0; bi < bucket.size(); ++bi)
             cache_.put(bucket[bi]->key, preds[bi]);
+        const auto fillEnd = Clock::now();
+        cacheFillMs_.record(msBetween(decodeEnd, fillEnd));
+        if (obs::traceEnabled())
+            obs::recordSpan("serve.cache_fill", decodeEnd, fillEnd, batchId);
+
+        for (size_t bi = 0; bi < bucket.size(); ++bi)
             for (Request* rp : bucket[bi]->requests)
                 fulfil(*rp, preds[bi]);
-        }
     }
 }
 
 void
 PredictionServer::fulfil(Request& req, const model::NumericPrediction& pred)
 {
-    recordLatencyMs(msSince(req.submitTime));
+    const auto now = Clock::now();
+    e2eMs_.record(msBetween(req.submitTime, now));
+    if (obs::traceEnabled())
+        obs::recordSpan("serve.request", req.submitTime, now, req.id);
     completed_.fetch_add(1, std::memory_order_relaxed);
     req.promise.set_value(pred);
-}
-
-void
-PredictionServer::recordLatencyMs(double ms)
-{
-    std::lock_guard<std::mutex> lk(latencyMu_);
-    if (latencyWindowMs_.size() < kLatencyWindow) {
-        latencyWindowMs_.push_back(ms);
-    } else {
-        latencyWindowMs_[latencyNext_] = ms;
-        latencyNext_ = (latencyNext_ + 1) % kLatencyWindow;
-    }
 }
 
 void
@@ -280,22 +316,6 @@ PredictionServer::stop()
         if (w.joinable())
             w.join();
 }
-
-namespace {
-
-/** Interpolation-free percentile of an unsorted sample copy. */
-double
-percentile(std::vector<double> xs, double p)
-{
-    if (xs.empty())
-        return 0.0;
-    size_t idx = static_cast<size_t>(p * double(xs.size() - 1) + 0.5);
-    idx = std::min(idx, xs.size() - 1);
-    std::nth_element(xs.begin(), xs.begin() + idx, xs.end());
-    return xs[idx];
-}
-
-} // namespace
 
 ServerStats
 PredictionServer::stats() const
@@ -312,16 +332,20 @@ PredictionServer::stats() const
         s.batches == 0 ? 0.0 : double(dispatched) / double(s.batches);
     s.queueDepth = queue_.depth();
 
-    std::vector<double> window;
-    {
-        std::lock_guard<std::mutex> lk(latencyMu_);
-        window = latencyWindowMs_;
-    }
-    s.p50LatencyMs = percentile(window, 0.50);
-    s.p95LatencyMs = percentile(std::move(window), 0.95);
+    obs::HistogramSnapshot e2e = e2eMs_.snapshot();
+    s.p50LatencyMs = e2e.quantile(0.50);
+    s.p95LatencyMs = e2e.quantile(0.95);
+    s.p99LatencyMs = e2e.quantile(0.99);
+    obs::HistogramSnapshot qw = queueWaitMs_.snapshot();
+    s.meanQueueWaitMs = qw.mean();
+    s.queueWaitP99Ms = qw.quantile(0.99);
+    s.meanAssemblyMs = assemblyMs_.snapshot().mean();
+    s.meanForwardMs = forwardMs_.snapshot().mean();
+    s.meanDecodeMs = decodeMs_.snapshot().mean();
+    s.meanCacheFillMs = cacheFillMs_.snapshot().mean();
 
     double elapsed = std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - startTime_)
+                         Clock::now() - startTime_)
                          .count();
     s.throughputRps = elapsed <= 0 ? 0.0 : double(s.completed) / elapsed;
     return s;

@@ -22,7 +22,16 @@
  *
  * Finished predictions land in a sharded LRU ResultCache keyed by
  * (program DFIR hash, runtime-input hash, metric); repeated queries are
- * answered without touching the model. With the default
+ * answered without touching the model. Each server owns an always-on
+ * obs::Registry (stage histograms under `serve.*`; see obs/metrics.h)
+ * — ServerStats is a point-in-time view over it, adding p99 latency,
+ * queue-wait and per-stage breakdowns to the counters; when
+ * LLMULATOR_TRACE is set the request lifecycle additionally exports
+ * trace spans (serve.request / serve.queue_wait per request,
+ * serve.batch / serve.batch_assembly / serve.forward / serve.decode /
+ * serve.cache_fill per micro-batch, correlated by request and batch
+ * ids). Telemetry is speed-only: it is never hashed into cache keys
+ * and cannot change a result bit. With the default
  * `canonicalCacheKeys`, the program hash is dfir::canonicalHash — the
  * structural hash of the canonicalized graph — and the input hash is
  * taken over the runtime data with scalars renamed into the canonical
@@ -56,6 +65,7 @@
 
 #include "model/cost_model.h"
 #include "model/fast_encoder.h"
+#include "obs/metrics.h"
 #include "serve/request_queue.h"
 #include "serve/result_cache.h"
 
@@ -89,8 +99,23 @@ struct ServerStats
     //! Queue-dispatched requests per batch (submit-path cache hits
     //! never enter a batch, so they are excluded).
     double meanBatch = 0;
-    double p50LatencyMs = 0; //!< submit -> fulfil, recent window
+    //! Submit -> fulfil latency quantiles, from the server's
+    //! `serve.e2e_ms` histogram (bucket-edge quantiles; whole run, not
+    //! a sliding window). Monotone: p50 <= p95 <= p99.
+    double p50LatencyMs = 0;
     double p95LatencyMs = 0;
+    double p99LatencyMs = 0;
+    //! Queue wait (submit -> micro-batch start) of queue-dispatched
+    //! requests; submit-path cache hits never wait.
+    double meanQueueWaitMs = 0;
+    double queueWaitP99Ms = 0;
+    //! Per-micro-batch stage means: assembly (cache probe + grouping +
+    //! encode), one batched forward, per-metric-bucket decode, and
+    //! result-cache fill. Sourced from the `serve.stage.*` histograms.
+    double meanAssemblyMs = 0;
+    double meanForwardMs = 0;
+    double meanDecodeMs = 0;
+    double meanCacheFillMs = 0;
     double throughputRps = 0; //!< completed / wall time since start
     size_t queueDepth = 0;
 
@@ -135,8 +160,17 @@ class PredictionServer
      */
     void stop();
 
-    /** Point-in-time statistics. */
+    /** Point-in-time statistics (a view over telemetry()). */
     ServerStats stats() const;
+
+    /**
+     * This server's private always-on metrics registry (histograms
+     * `serve.e2e_ms`, `serve.queue_wait_ms`, `serve.stage.*_ms`) —
+     * per-instance, so concurrent or sequential servers never mix
+     * telemetry. ServerStats is derived from it; benches snapshot it
+     * into CSV rows via bench::dumpRegistryCsv.
+     */
+    const obs::Registry& telemetry() const { return telemetry_; }
 
     const model::CostModel& model() const { return *model_; }
     const ServeConfig& config() const { return cfg_; }
@@ -149,6 +183,7 @@ class PredictionServer
         bool hasData = false;
         model::Metric metric = model::Metric::Power;
         ResultKey key;
+        uint64_t id = 0; //!< trace-span correlation id (1-based)
         std::promise<model::NumericPrediction> promise;
         std::chrono::steady_clock::time_point submitTime;
     };
@@ -157,7 +192,6 @@ class PredictionServer
     void processBatch(std::vector<Request>& batch,
                       model::InferenceSession& session);
     void fulfil(Request& req, const model::NumericPrediction& pred);
-    void recordLatencyMs(double ms);
 
     ServeConfig cfg_;
     std::unique_ptr<model::CostModel> model_;
@@ -174,11 +208,18 @@ class PredictionServer
     std::atomic<uint64_t> dispatched_{0};
     std::atomic<uint64_t> modelCalls_{0};
     std::atomic<bool> stopped_{false};
+    std::atomic<uint64_t> reqSeq_{0};
 
-    //! Sliding window of recent request latencies for the percentiles.
-    mutable std::mutex latencyMu_;
-    std::vector<double> latencyWindowMs_;
-    size_t latencyNext_ = 0;
+    //! Per-instance registry; always-on (not LLMULATOR_METRICS-gated)
+    //! because ServerStats is defined as a view over it. Declared
+    //! before the histogram references bound to it in the ctor.
+    obs::Registry telemetry_{/*alwaysOn=*/true};
+    obs::Histogram& e2eMs_;       //!< serve.e2e_ms (submit -> fulfil)
+    obs::Histogram& queueWaitMs_; //!< serve.queue_wait_ms
+    obs::Histogram& assemblyMs_;  //!< serve.stage.assembly_ms
+    obs::Histogram& forwardMs_;   //!< serve.stage.forward_ms
+    obs::Histogram& decodeMs_;    //!< serve.stage.decode_ms
+    obs::Histogram& cacheFillMs_; //!< serve.stage.cache_fill_ms
 };
 
 } // namespace serve

@@ -1,9 +1,12 @@
 #include "sim/profiler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/common.h"
 #include "util/string_util.h"
 
@@ -381,12 +384,31 @@ Profile
 profile(const dfir::DataflowGraph& g, const dfir::RuntimeData& data,
         const SimConfig& cfg)
 {
+    // Speed-only telemetry: how long each ground-truth cycle
+    // estimation takes (the quantity the calibration loop compares
+    // model latency against). Never touches the returned Profile.
+    OBS_SPAN("sim.profile");
+    const bool metrics = obs::metricsEnabled();
+    const auto t0 = metrics ? std::chrono::steady_clock::now()
+                            : std::chrono::steady_clock::time_point();
+
     Interp interp(g, data, cfg);
     Profile prof = interp.run();
     prof.rtl = hls::compile(g);
     prof.powerUw = prof.rtl.powerUw;
     prof.areaUm2 = prof.rtl.areaUm2;
     prof.flipFlops = prof.rtl.flipFlops;
+
+    if (metrics) {
+        static obs::Counter& profiles =
+            obs::registry().counter("sim.profiles");
+        static obs::Histogram& latency =
+            obs::registry().histogram("sim.profile_ms");
+        profiles.add(1);
+        latency.record(std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count());
+    }
     return prof;
 }
 

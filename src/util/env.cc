@@ -1,0 +1,45 @@
+#include "util/env.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace llmulator {
+namespace util {
+
+const char*
+envRaw(const char* name)
+{
+    return std::getenv(name);
+}
+
+std::string
+envString(const char* name, const std::string& def)
+{
+    const char* v = std::getenv(name);
+    return v ? std::string(v) : def;
+}
+
+bool
+envFlag(const char* name, bool def)
+{
+    const char* v = std::getenv(name);
+    if (!v)
+        return def;
+    return std::strcmp(v, "0") != 0;
+}
+
+int
+envInt(const char* name, int def)
+{
+    const char* v = std::getenv(name);
+    if (!v || *v == '\0')
+        return def;
+    char* end = nullptr;
+    long n = std::strtol(v, &end, 10);
+    if (end == v)
+        return def;
+    return static_cast<int>(n);
+}
+
+} // namespace util
+} // namespace llmulator

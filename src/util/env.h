@@ -1,0 +1,45 @@
+#ifndef LLMULATOR_UTIL_ENV_H
+#define LLMULATOR_UTIL_ENV_H
+
+/**
+ * @file
+ * Centralized environment-knob parsing.
+ *
+ * Every LLMULATOR_* environment variable in the tree is read through
+ * these helpers instead of ad-hoc getenv() snippets, so the flag
+ * semantics stay uniform:
+ *
+ *  - envFlag():   unset -> default; "0" -> false; any other value ->
+ *                 true (the LLMULATOR_SMOKE convention).
+ *  - envString(): unset -> default; set -> the raw value (possibly "").
+ *  - envInt():    unset or unparsable -> default; else the parsed int.
+ *
+ * Current knobs: LLMULATOR_SMOKE (harness), LLMULATOR_NN_BACKEND (nn),
+ * LLMULATOR_TRAIN_THREADS (harness), LLMULATOR_CACHE_DIR (eval),
+ * LLMULATOR_METRICS / LLMULATOR_TRACE / LLMULATOR_TRACE_FILE (obs).
+ */
+
+#include <string>
+
+namespace llmulator {
+namespace util {
+
+/** Raw getenv: nullptr when unset. */
+const char* envRaw(const char* name);
+
+/** String knob: the variable's value, or `def` when unset. */
+std::string envString(const char* name, const std::string& def = "");
+
+/**
+ * Boolean knob, LLMULATOR_SMOKE-style: unset returns `def`, the literal
+ * "0" is false, any other value (including "") is true.
+ */
+bool envFlag(const char* name, bool def = false);
+
+/** Integer knob: parsed value, or `def` when unset or unparsable. */
+int envInt(const char* name, int def = 0);
+
+} // namespace util
+} // namespace llmulator
+
+#endif // LLMULATOR_UTIL_ENV_H

@@ -20,6 +20,8 @@
 #include "nn/batch.h"
 #include "nn/layers.h"
 #include "nn/ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 using namespace llmulator;
 using namespace llmulator::dfir;
@@ -358,4 +360,44 @@ TEST(DigitHeadBatch, DecodeBatchMatchesSequentialDecode)
             EXPECT_EQ(preds[r].logProb, ref.logProb);
         }
     }
+}
+
+// Telemetry is speed-only: with the metrics and trace gates forced on,
+// the batched forward produces bit-identical outputs to a telemetry-off
+// run, while the GEMM call/FLOP counters actually count.
+TEST(EncoderBatch, TelemetryEnabledKeepsForwardBitIdentical)
+{
+    nn::EncoderConfig cfg = tinyEncoderConfig();
+    std::vector<std::vector<int>> seqs = {makeSeq(7, 1, cfg.vocab),
+                                          makeSeq(12, 5, cfg.vocab)};
+    auto pb = nn::PaddedBatch::pack(seqs, {}, cfg.maxSeq);
+
+    obs::setMetricsEnabled(false);
+    obs::setTraceEnabled(false);
+    util::Rng rngOff(11);
+    nn::TransformerEncoder encOff(cfg, rngOff);
+    nn::TensorPtr off = nn::TransformerEncoder::pooledBatch(
+        encOff.forwardBatch(pb), pb);
+
+    obs::registry().reset();
+    obs::setMetricsEnabled(true);
+    obs::setTraceEnabled(true);
+    util::Rng rngOn(11);
+    nn::TransformerEncoder encOn(cfg, rngOn);
+    nn::TensorPtr on = nn::TransformerEncoder::pooledBatch(
+        encOn.forwardBatch(pb), pb);
+    obs::setMetricsEnabled(false);
+    obs::setTraceEnabled(false);
+    obs::clearSpans();
+
+    EXPECT_EQ(on->value, off->value); // whole tensor, bit for bit
+
+    // The instrumented run counted its GEMMs (per kernel per backend,
+    // nn.gemm_accum.<backend>.{calls,flops}).
+    uint64_t calls = 0;
+    for (const auto& row : obs::registry().rows("nn.gemm_accum."))
+        if (row.metric == "count" &&
+            row.name.find(".calls") != std::string::npos)
+            calls += uint64_t(row.value);
+    EXPECT_GT(calls, 0u);
 }

@@ -14,12 +14,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstring>
 #include <future>
+#include <map>
+#include <string>
 #include <thread>
 
 #include "dfir/builder.h"
 #include "dfir/passes.h"
 #include "model/fast_encoder.h"
+#include "obs/trace.h"
 #include "serve/request_queue.h"
 #include "serve/result_cache.h"
 #include "serve/server.h"
@@ -388,4 +392,196 @@ TEST(PredictionServer, SubmitAfterStopFailsFast)
     DataflowGraph g = makeGraph("late", 1);
     auto f = server.submitAsync(g, nullptr, model::Metric::Power);
     EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+namespace {
+
+/** RAII trace gate: on for the test body, always back off after. */
+struct TraceOn
+{
+    TraceOn()
+    {
+        obs::setTraceEnabled(true);
+        obs::clearSpans();
+    }
+    ~TraceOn() { obs::setTraceEnabled(false); }
+};
+
+/** Total duration (ns) of every collected span with this exact name. */
+int64_t
+totalNs(const std::vector<obs::SpanEvent>& spans, const char* name)
+{
+    int64_t t = 0;
+    for (const obs::SpanEvent& ev : spans)
+        if (std::strcmp(ev.name, name) == 0)
+            t += ev.durNs;
+    return t;
+}
+
+size_t
+countSpans(const std::vector<obs::SpanEvent>& spans, const char* name)
+{
+    size_t n = 0;
+    for (const obs::SpanEvent& ev : spans)
+        n += std::strcmp(ev.name, name) == 0;
+    return n;
+}
+
+} // namespace
+
+// Exported spans must nest: a request's end-to-end interval contains
+// its queue wait, its batch's forward, and its metric bucket's decode
+// as disjoint sub-intervals. Summed over a whole concurrent run with
+// every request on the model path, that containment implies
+//   sum(e2e) >= sum(queue_wait) + sum(forward) + sum(decode)
+// (each batch/bucket has >= 1 member, so the per-batch stage spans are
+// counted at most once per member on the right). 8 client threads keep
+// the inequality honest under real contention; the suite also runs
+// under TSan in CI.
+TEST(Telemetry, SpanNestingUnderConcurrentClients)
+{
+    TraceOn trace;
+
+    serve::ServeConfig cfg;
+    cfg.workers = 4;
+    cfg.batchMax = 4;
+    cfg.cacheCapacity = 0; // every request runs the full pipeline
+    serve::PredictionServer server(tinyModel(), cfg);
+
+    const int kClients = 8;
+    const int kPerClient = 6;
+    std::vector<DataflowGraph> graphs;
+    std::vector<RuntimeData> datas;
+    for (long i = 0; i < 3; ++i) {
+        graphs.push_back(makeGraph("t" + std::to_string(i), i));
+        datas.push_back(makeData(8 + i));
+    }
+    std::vector<std::thread> clients;
+    for (int t = 0; t < kClients; ++t)
+        clients.emplace_back([&, t] {
+            for (int i = 0; i < kPerClient; ++i) {
+                size_t gi = size_t(t + i) % graphs.size();
+                auto metric = static_cast<model::Metric>(
+                    (t * kPerClient + i) % model::kNumMetrics);
+                server.predict(graphs[gi],
+                               metric == model::Metric::Cycles
+                                   ? &datas[gi]
+                                   : nullptr,
+                               metric);
+            }
+        });
+    for (auto& c : clients)
+        c.join();
+    server.stop(); // quiesce the workers before collecting
+
+    std::vector<obs::SpanEvent> spans = obs::collectSpans();
+    const size_t kTotal = size_t(kClients) * kPerClient;
+    EXPECT_EQ(countSpans(spans, "serve.request"), kTotal);
+    // Cache off: every request was queue-dispatched exactly once.
+    EXPECT_EQ(countSpans(spans, "serve.queue_wait"), kTotal);
+    EXPECT_GT(countSpans(spans, "serve.forward"), 0u);
+    EXPECT_GT(countSpans(spans, "serve.decode"), 0u);
+
+    int64_t e2e = totalNs(spans, "serve.request");
+    int64_t parts = totalNs(spans, "serve.queue_wait") +
+                    totalNs(spans, "serve.forward") +
+                    totalNs(spans, "serve.decode");
+    EXPECT_GE(e2e, parts);
+
+    // The ServerStats view over the same run: monotone latency
+    // quantiles and populated stage breakdowns.
+    auto stats = server.stats();
+    EXPECT_LE(stats.p50LatencyMs, stats.p95LatencyMs);
+    EXPECT_LE(stats.p95LatencyMs, stats.p99LatencyMs);
+    EXPECT_GT(stats.p99LatencyMs, 0.0);
+    EXPECT_GE(stats.meanQueueWaitMs, 0.0);
+    EXPECT_GT(stats.meanForwardMs, 0.0);
+    EXPECT_GT(stats.meanDecodeMs, 0.0);
+}
+
+// One worker, one request: the containment is checkable per span, not
+// just in aggregate — queue wait, forward, and decode all fall inside
+// the request's [submit, fulfil] window and are pairwise disjoint.
+TEST(Telemetry, SingleRequestStageSpansNestExactly)
+{
+    TraceOn trace;
+
+    serve::ServeConfig cfg;
+    cfg.workers = 1;
+    cfg.cacheCapacity = 0;
+    serve::PredictionServer server(tinyModel(), cfg);
+    DataflowGraph g = makeGraph("solo", 3);
+    RuntimeData d = makeData(10);
+    server.predict(g, &d, model::Metric::Cycles);
+    server.stop();
+
+    std::vector<obs::SpanEvent> spans = obs::collectSpans();
+    auto find = [&](const char* name) -> const obs::SpanEvent* {
+        for (const obs::SpanEvent& ev : spans)
+            if (std::strcmp(ev.name, name) == 0)
+                return &ev;
+        return nullptr;
+    };
+    const obs::SpanEvent* req = find("serve.request");
+    const obs::SpanEvent* wait = find("serve.queue_wait");
+    const obs::SpanEvent* fwd = find("serve.forward");
+    const obs::SpanEvent* dec = find("serve.decode");
+    ASSERT_NE(req, nullptr);
+    ASSERT_NE(wait, nullptr);
+    ASSERT_NE(fwd, nullptr);
+    ASSERT_NE(dec, nullptr);
+    EXPECT_EQ(req->id, wait->id); // correlated by request id
+
+    auto endOf = [](const obs::SpanEvent* ev) {
+        return ev->startNs + ev->durNs;
+    };
+    // Containment in the request window...
+    EXPECT_GE(wait->startNs, req->startNs);
+    EXPECT_GE(fwd->startNs, req->startNs);
+    EXPECT_GE(dec->startNs, req->startNs);
+    EXPECT_LE(endOf(dec), endOf(req));
+    // ...in pipeline order, pairwise disjoint.
+    EXPECT_LE(endOf(wait), fwd->startNs);
+    EXPECT_LE(endOf(fwd), dec->startNs);
+    EXPECT_GE(req->durNs, wait->durNs + fwd->durNs + dec->durNs);
+}
+
+// Telemetry is speed-only: with both the trace and metrics gates on,
+// served predictions stay bit-identical to the sequential fast path
+// computed with telemetry off.
+TEST(Telemetry, TracingEnabledKeepsResultsBitIdentical)
+{
+    auto reference = tinyModel();
+    model::InferenceSession sequential(*reference);
+    DataflowGraph g = makeGraph("traced", 4);
+    RuntimeData d = makeData(14);
+
+    // Ground truth with every gate off.
+    obs::setTraceEnabled(false);
+    obs::setMetricsEnabled(false);
+    model::NumericPrediction expected[model::kNumMetrics];
+    for (int m = 0; m < model::kNumMetrics; ++m) {
+        auto metric = static_cast<model::Metric>(m);
+        auto ep = reference->encode(
+            g, metric == model::Metric::Cycles ? &d : nullptr);
+        expected[m] = sequential.predict(ep, metric, /*use_cache=*/false);
+    }
+
+    obs::setTraceEnabled(true);
+    obs::setMetricsEnabled(true);
+    {
+        serve::ServeConfig cfg;
+        cfg.workers = 2;
+        cfg.cacheCapacity = 0;
+        serve::PredictionServer server(tinyModel(), cfg);
+        for (int m = 0; m < model::kNumMetrics; ++m) {
+            auto metric = static_cast<model::Metric>(m);
+            auto pred = server.predict(
+                g, metric == model::Metric::Cycles ? &d : nullptr, metric);
+            expectSamePrediction(pred, expected[m]);
+        }
+    }
+    obs::setTraceEnabled(false);
+    obs::setMetricsEnabled(false);
+    obs::clearSpans();
 }

@@ -16,6 +16,8 @@
 #include "model/fast_encoder.h"
 #include "nn/layers.h"
 #include "nn/ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace {
@@ -292,6 +294,45 @@ TEST(Trainer, PairEncodingMatchesSeparateEncodes)
             EXPECT_EQ(enc.dyn.hasData, dyn.hasData);
         }
     }
+}
+
+// Telemetry is speed-only: a run with the metrics and trace gates
+// forced on trains bit-identical weights and losses to a telemetry-off
+// run, while the trainer counters/gauges actually record.
+TEST(Trainer, TelemetryEnabledKeepsTrainingBitIdentical)
+{
+    TinyProblem p(13);
+    auto cfg = tinyConfig();
+
+    obs::setMetricsEnabled(false);
+    obs::setTraceEnabled(false);
+    TinyRig off(p, 4);
+    auto statsOff = off.train(cfg);
+
+    obs::registry().reset();
+    obs::setMetricsEnabled(true);
+    obs::setTraceEnabled(true);
+    TinyRig on(p, 4);
+    auto statsOn = on.train(cfg);
+    obs::setMetricsEnabled(false);
+    obs::setTraceEnabled(false);
+    obs::clearSpans();
+
+    expectBitIdentical(statsOff, statsOn, *off.nets[0], *on.nets[0]);
+
+    // The instrumented run recorded its step/sample counters and the
+    // per-epoch loss gauge (== the final epoch's mean loss).
+    const obs::Counter* steps =
+        obs::registry().findCounter("trainer.steps");
+    ASSERT_NE(steps, nullptr);
+    EXPECT_EQ(steps->total(), uint64_t(statsOn.steps));
+    const obs::Counter* samples =
+        obs::registry().findCounter("trainer.samples");
+    ASSERT_NE(samples, nullptr);
+    EXPECT_EQ(samples->total(), uint64_t(statsOn.samples));
+    const obs::Gauge* loss = obs::registry().findGauge("trainer.loss");
+    ASSERT_NE(loss, nullptr);
+    EXPECT_DOUBLE_EQ(loss->value(), statsOn.epochLoss.back());
 }
 
 } // namespace
