@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Live-calibration benchmark: a calibration-enabled PredictionServer
+ * under synthetic traffic drift. Measures how far DPO calibration pulls
+ * serving MAPE back down (Table 3's convergence story, but *online*)
+ * and what the RCU hot-swap costs the serving path.
+ *
+ * Structure:
+ *  - steady phase: traffic from the small-N regime, latencies sampled
+ *    client-side -> p99_ms_steady (drift baseline forms here);
+ *  - drift phase: the input distribution jumps to the large-N regime;
+ *    MAPE vs the cycle-accurate simulator is measured before any swap
+ *    (mape_before_calib), then drifted traffic flows while the drift
+ *    detector and background calibrator react -> p99_ms_during_swap is
+ *    the same client-side p99 with calibration rounds + swaps landing
+ *    mid-stream (if drift never fires, a round is forced so the swap
+ *    cost is still measured — the forced_rounds row says which);
+ *  - convergence: further calibration rounds are forced, recomputing
+ *    MAPE after each -> mape_round<r> is the MAPE-vs-iterations curve,
+ *    mape_after_calib its final point.
+ *
+ * CSV lines (name,metric,value):
+ *   serve_calib,mape_before_calib,<MAPE on drifted inputs, version 0>
+ *   serve_calib,mape_round<r>,<MAPE after calibration round r>
+ *   serve_calib,mape_after_calib,<final MAPE on drifted inputs>
+ *   serve_calib,swap_count,<hot-swaps performed>
+ *   serve_calib,forced_rounds,<rounds forced vs drift-triggered>
+ *   serve_calib,model_version,<final weight generation>
+ *   serve_calib,p99_ms_steady,<client-side p99, steady phase>
+ *   serve_calib,p99_ms_during_swap,<client-side p99, swap window>
+ *   serve_calib,calib.*,<shadow/drift/round registry rows>
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "dfir/builder.h"
+#include "harness/harness.h"
+#include "serve/server.h"
+#include "sim/profiler.h"
+
+using namespace llmulator;
+using namespace llmulator::dfir;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** The test kernel: a vector scale loop, distinct per bias. */
+DataflowGraph
+makeGraph(long bias)
+{
+    Operator op;
+    op.name = "scale";
+    op.scalarParams = {"N"};
+    op.tensors = {tensor("X", {p("N")}), tensor("Y", {p("N")})};
+    op.body = {forLoop("i", c(0), p("N"),
+                       {assign("Y", {v("i")},
+                               badd(a("X", {v("i")}), c(bias)))})};
+    DataflowGraph g;
+    g.name = "calib_kernel_" + std::to_string(bias);
+    g.ops = {op};
+    g.calls = {{"scale"}};
+    return g;
+}
+
+struct Sample
+{
+    DataflowGraph graph;
+    RuntimeData data;
+    long truth = 0; //!< sim::profile ground-truth cycles
+};
+
+/** One regime: the kernels crossed with a band of loop bounds. */
+std::vector<Sample>
+makeRegime(const std::vector<long>& ns)
+{
+    std::vector<Sample> out;
+    for (long bias : {1, 2, 3}) {
+        DataflowGraph g = makeGraph(bias);
+        for (long n : ns) {
+            Sample s;
+            s.graph = g;
+            s.data.scalars["N"] = n;
+            s.truth = sim::profile(s.graph, s.data).cycles;
+            out.push_back(std::move(s));
+        }
+    }
+    return out;
+}
+
+double
+percentile(std::vector<double> v, double q)
+{
+    if (v.empty())
+        return 0;
+    std::sort(v.begin(), v.end());
+    return v[size_t(q * double(v.size() - 1))];
+}
+
+/** One blocking pass over a regime, recording client-side latencies. */
+void
+drive(serve::PredictionServer& server, const std::vector<Sample>& regime,
+      std::vector<double>* latencies)
+{
+    for (const Sample& s : regime) {
+        auto t0 = Clock::now();
+        server.predict(s.graph, &s.data, model::Metric::Cycles);
+        if (latencies)
+            latencies->push_back(
+                std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                    .count());
+    }
+}
+
+/** Serving MAPE vs the precomputed profiler truth. */
+double
+mapeOn(serve::PredictionServer& server, const std::vector<Sample>& regime)
+{
+    double sum = 0;
+    for (const Sample& s : regime) {
+        auto pred = server.predict(s.graph, &s.data, model::Metric::Cycles);
+        sum += std::fabs(double(pred.value) - double(s.truth)) /
+               std::max(1.0, double(s.truth));
+    }
+    return regime.empty() ? 0 : sum / double(regime.size());
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bench::parseArgs(argc, argv);
+    const bool quick = harness::smokeMode();
+
+    // Shared training artifact (same cache key as the rest of the
+    // bench suite), trained on the default synthetic corpus — the
+    // "steady" regime it has seen, roughly.
+    synth::Dataset ds =
+        harness::defaultDataset(harness::defaultSynthConfig());
+    auto base = harness::trainCostModel(harness::defaultOursConfig(), ds,
+                                        harness::defaultTrainConfig(),
+                                        "main_ours");
+
+    // Two input regimes for the same kernels: the drift is a jump in
+    // the loop-bound distribution, which moves true cycle counts far
+    // from the steady band.
+    std::vector<Sample> steady = makeRegime({8, 12, 16, 20});
+    std::vector<Sample> drifted = makeRegime(
+        quick ? std::vector<long>{64, 96} : std::vector<long>{64, 96, 128});
+
+    serve::ServeConfig cfg;
+    cfg.workers = 2;
+    cfg.cacheCapacity = 0; // every request computed => shadow-profiled
+    cfg.calibration.enabled = true;
+    cfg.calibration.shadowFraction = 1.0;
+    cfg.calibration.calibSteps = quick ? 8 : 24;
+    cfg.calibration.minRoundSamples = 2;
+    cfg.calibration.drift.baselineSamples = 4;
+    cfg.calibration.dpo.lr = 3e-3f;
+    serve::PredictionServer server(base->clone(), cfg);
+
+    // Phase 1 — steady traffic: drift baseline forms, p99 is the
+    // no-swap reference.
+    std::vector<double> steadyLat;
+    const int steadyPasses = quick ? 2 : 4;
+    for (int pass = 0; pass < steadyPasses; ++pass)
+        drive(server, steady, &steadyLat);
+    const double p99Steady = percentile(steadyLat, 0.99);
+
+    // Phase 2 — the distribution jumps. First measure where the
+    // uncalibrated model stands on the new regime (this traffic also
+    // starts feeding the detector), then keep drifted traffic flowing
+    // while rounds and swaps land mid-stream.
+    const double mapeBefore = mapeOn(server, drifted);
+    bench::csv("serve_calib", "mape_before_calib", mapeBefore);
+
+    std::vector<double> swapLat;
+    const int driftPasses = quick ? 3 : 6;
+    for (int pass = 0; pass < driftPasses; ++pass)
+        drive(server, drifted, &swapLat);
+
+    // Give the async shadow queue a moment to drain, then force a
+    // round if drift never tripped, so the swap cost is measured
+    // either way.
+    uint64_t forced = 0;
+    for (int i = 0; i < 200 && server.stats().shadowProfiled == 0; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    if (server.stats().calibSwaps == 0) {
+        server.forceCalibrationRound();
+        ++forced;
+    }
+
+    // Phase 3 — MAPE vs calibration iterations: more drifted traffic,
+    // one forced round per step, MAPE after each.
+    const int rounds = quick ? 2 : 4;
+    double mapeAfter = mapeOn(server, drifted);
+    bench::csv("serve_calib", "mape_round1", mapeAfter);
+    for (int r = 2; r <= rounds; ++r) {
+        drive(server, drifted, &swapLat);
+        for (int i = 0; i < 200 && server.stats().shadowProfiled == 0; ++i)
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        if (server.forceCalibrationRound())
+            ++forced;
+        mapeAfter = mapeOn(server, drifted);
+        bench::csv("serve_calib",
+                   ("mape_round" + std::to_string(r)).c_str(), mapeAfter);
+    }
+    const double p99Swap = percentile(swapLat, 0.99);
+
+    auto stats = server.stats();
+    bench::csv("serve_calib", "mape_after_calib", mapeAfter);
+    bench::csv("serve_calib", "swap_count", double(stats.calibSwaps));
+    bench::csv("serve_calib", "forced_rounds", double(forced));
+    bench::csv("serve_calib", "model_version", double(stats.modelVersion));
+    bench::csv("serve_calib", "p99_ms_steady", p99Steady);
+    bench::csv("serve_calib", "p99_ms_during_swap", p99Swap);
+    bench::dumpRegistryCsv("serve_calib", server.telemetry(), "calib.");
+
+    std::printf("== live calibration under synthetic drift ==\n"
+                "MAPE before=%.3f after=%.3f (swaps=%llu, forced=%llu)\n"
+                "p99 steady=%.2fms during-swap=%.2fms\n",
+                mapeBefore, mapeAfter,
+                (unsigned long long)stats.calibSwaps,
+                (unsigned long long)forced, p99Steady, p99Swap);
+    server.stop();
+    return 0;
+}

@@ -1,8 +1,10 @@
 #include "calib/dpo.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "nn/ops.h"
+#include "util/common.h"
 
 namespace llmulator {
 namespace calib {
@@ -31,18 +33,48 @@ ReplayBuffer::sample(util::Rng& rng, size_t n) const
     return out;
 }
 
-DpoCalibrator::DpoCalibrator(model::CostModel& policy, const DpoConfig& cfg)
-    : policy_(policy), ref_(policy.clone()), cfg_(cfg),
-      opt_(policy.parameters(),
-           nn::AdamWConfig{cfg.lr, 0.9f, 0.999f, 1e-8f, 0.f, 1.0f}),
+nn::AdamWConfig
+DpoCalibrator::optConfig(const DpoConfig& cfg)
+{
+    return nn::AdamWConfig{cfg.lr, 0.9f, 0.999f, 1e-8f, 0.f, 1.0f};
+}
+
+DpoCalibrator::DpoCalibrator(const model::CostModel& init,
+                             const DpoConfig& cfg)
+    : DpoCalibrator(init.clone(), cfg)
+{
+}
+
+DpoCalibrator::DpoCalibrator(std::unique_ptr<model::CostModel> policy,
+                             const DpoConfig& cfg)
+    : policy_(std::move(policy)), ref_(policy_->clone()), cfg_(cfg),
+      opt_(policy_->parameters(), optConfig(cfg)),
       buffer_(cfg.bufferCapacity), rng_(cfg.seed)
 {
+}
+
+std::unique_ptr<model::CostModel>
+DpoCalibrator::takePolicy()
+{
+    return std::move(policy_);
+}
+
+void
+DpoCalibrator::rebind(std::unique_ptr<model::CostModel> policy)
+{
+    LLM_CHECK(policy != nullptr, "rebind() needs a policy model");
+    policy_ = std::move(policy);
+    ref_ = policy_->clone();
+    opt_ = nn::AdamW(policy_->parameters(), optConfig(cfg_));
+    buffer_ = ReplayBuffer(cfg_.bufferCapacity);
 }
 
 model::NumericPrediction
 DpoCalibrator::predict(const model::EncodedProgram& ep) const
 {
-    return policy_.predict(ep, model::Metric::Cycles, cfg_.beamWidth);
+    LLM_CHECK(policy_ != nullptr,
+              "calibrator has no policy (takePolicy without rebind)");
+    return policy_->predict(ep, model::Metric::Cycles, cfg_.beamWidth);
 }
 
 double
@@ -56,8 +88,8 @@ DpoCalibrator::dpoStep(const PreferenceTriplet& t)
 
     // Policy log-probabilities (with gradient). One encoder forward is
     // shared between the two sequences.
-    nn::TensorPtr pooled = policy_.pooledForward(t.input);
-    const model::DigitHead& head = policy_.head(Metric::Cycles);
+    nn::TensorPtr pooled = policy_->pooledForward(t.input);
+    const model::DigitHead& head = policy_->head(Metric::Cycles);
     auto logits_w = head.teacherForcedLogits(pooled, t.yw);
     auto lw = nn::sequenceLogProb(logits_w, t.yw);
     auto ll = nn::sequenceLogProb(head.teacherForcedLogits(pooled, t.yl),
@@ -83,14 +115,16 @@ double
 DpoCalibrator::observe(const model::EncodedProgram& ep, long true_cycles)
 {
     using model::Metric;
+    LLM_CHECK(policy_ != nullptr,
+              "calibrator has no policy (takePolicy without rebind)");
     model::NumericPrediction pred = predict(ep);
-    double err =
-        true_cycles != 0
-            ? std::fabs(double(pred.value) - double(true_cycles)) /
-                  std::fabs(double(true_cycles))
-            : (pred.value == 0 ? 0.0 : 1.0);
+    // Absolute percentage error with the denominator floored at one
+    // cycle (see the header contract): a zero-cycle truth reports the
+    // absolute error |pred| instead of a magnitude-blind constant.
+    double err = std::fabs(double(pred.value) - double(true_cycles)) /
+                 std::max(std::fabs(double(true_cycles)), 1.0);
 
-    const auto& head_cfg = policy_.head(Metric::Cycles).cfg;
+    const auto& head_cfg = policy_->head(Metric::Cycles).cfg;
     PreferenceTriplet t;
     t.input = ep;
     t.yw = model::toDigits(true_cycles, head_cfg.base, head_cfg.width);

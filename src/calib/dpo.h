@@ -22,6 +22,17 @@
  * Digit sequences are the action space: log pi(y) is the sum of per-digit
  * class log-probabilities under teacher forcing, so the DPO gradient flows
  * through the same categorical logits used for SFT.
+ *
+ * ## Ownership
+ *
+ * A DpoCalibrator OWNS its live policy (a deep clone of the model it was
+ * constructed from) as well as the frozen reference. It never mutates the
+ * caller's model, so the source model can be retired — or hot-swapped out
+ * from under a serving loop — while a calibration round is in flight.
+ * takePolicy() releases the calibrated weights (the serving hot-swap
+ * hand-off) and rebind() starts a new round over a fresh clone,
+ * re-creating the AdamW state so stale moments never reference retired
+ * parameter tensors.
  */
 
 #include <deque>
@@ -64,6 +75,9 @@ class ReplayBuffer
     size_t size() const { return buf_.size(); }
     size_t capacity() const { return capacity_; }
 
+    /** Oldest-first access to the retained triplets. */
+    const PreferenceTriplet& at(size_t i) const { return buf_[i]; }
+
     /** Sample up to n triplets (with replacement) for a minibatch. */
     std::vector<const PreferenceTriplet*> sample(util::Rng& rng,
                                                  size_t n) const;
@@ -92,37 +106,79 @@ struct DpoConfig
 };
 
 /**
- * Online DPO calibrator for the Cycles metric. Owns the frozen reference
- * policy (a clone of the model at construction time) and an AdamW
- * optimizer over the live policy's parameters.
+ * Online DPO calibrator for the Cycles metric. Owns the live policy (a
+ * clone of the model it is constructed from), the frozen reference
+ * policy (a second clone), and an AdamW optimizer over the live
+ * policy's parameters.
  */
 class DpoCalibrator
 {
   public:
-    DpoCalibrator(model::CostModel& policy, const DpoConfig& cfg = {});
+    /**
+     * Calibrate a deep clone of `init`. `init` itself is never touched;
+     * read the calibrated weights through policy() or release them with
+     * takePolicy().
+     */
+    explicit DpoCalibrator(const model::CostModel& init,
+                           const DpoConfig& cfg = {});
+
+    /** Take ownership of `policy` directly (skips one clone). */
+    explicit DpoCalibrator(std::unique_ptr<model::CostModel> policy,
+                           const DpoConfig& cfg = {});
 
     /**
      * One calibration iteration: predict, compare to the profiled truth,
      * store the preference triplet, replay a minibatch of DPO updates.
-     * @return the absolute percentage error of the *pre-update* prediction
-     *         (so callers can trace convergence, Table 3 / Section 1's
-     *         "converges to within 11.2% after several iterations").
+     *
+     * @return the absolute error of the *pre-update* prediction relative
+     *         to the ground truth, with the denominator floored at one
+     *         cycle: |pred - truth| / max(|truth|, 1). For the
+     *         true_cycles == 0 edge this degrades gracefully to the
+     *         absolute error |pred| (a zero-cycle truth has no relative
+     *         scale, so the error stays proportional to how far off the
+     *         prediction is instead of a hardcoded sentinel); an exact
+     *         prediction always reports 0. Callers trace this for
+     *         convergence (Table 3 / Section 1's "converges to within
+     *         11.2% after several iterations").
      */
     double observe(const model::EncodedProgram& ep, long true_cycles);
 
     /** Current prediction for an input (beam width from config). */
     model::NumericPrediction predict(const model::EncodedProgram& ep) const;
 
+    /** The live (calibrated) policy. */
+    const model::CostModel& policy() const { return *policy_; }
+
+    /**
+     * Release the calibrated policy — the serving hot-swap hand-off.
+     * The calibrator holds no policy afterwards; rebind() before any
+     * further observe()/predict() call.
+     */
+    std::unique_ptr<model::CostModel> takePolicy();
+
+    /**
+     * Start a new calibration round over `policy`: replaces the owned
+     * policy, resets the frozen reference to a clone of it (Equation
+     * 2's pi_ref becomes the new pre-round policy), RE-CREATES the
+     * AdamW state over the new parameter tensors — carrying the old
+     * moments over would both reference retired tensors and mis-scale
+     * the first updates — and clears the replay buffer (retained
+     * triplets' refDiff was computed against the old reference).
+     */
+    void rebind(std::unique_ptr<model::CostModel> policy);
+
     const model::CostModel& reference() const { return *ref_; }
     const ReplayBuffer& buffer() const { return buffer_; }
 
   private:
-    model::CostModel& policy_;
+    std::unique_ptr<model::CostModel> policy_;
     std::unique_ptr<model::CostModel> ref_;
     DpoConfig cfg_;
     nn::AdamW opt_;
     ReplayBuffer buffer_;
     util::Rng rng_;
+
+    static nn::AdamWConfig optConfig(const DpoConfig& cfg);
 
     /** One gradient step on a triplet; returns the DPO loss value. */
     double dpoStep(const PreferenceTriplet& t);

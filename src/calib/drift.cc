@@ -1,0 +1,81 @@
+#include "calib/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace llmulator {
+namespace calib {
+
+DriftDetector::DriftDetector(const DriftConfig& cfg) : cfg_(cfg)
+{
+    if (cfg_.baselineSamples == 0)
+        cfg_.baselineSamples = 1;
+    if (cfg_.window == 0)
+        cfg_.window = 1;
+}
+
+void
+DriftDetector::add(double residual)
+{
+    ++n_;
+
+    window_.push_back(residual);
+    windowAbsSum_ += std::fabs(residual);
+    while (window_.size() > cfg_.window) {
+        windowAbsSum_ -= std::fabs(window_.front());
+        window_.pop_front();
+    }
+
+    if (!ready_) {
+        baselineSum_ += residual;
+        if (n_ >= cfg_.baselineSamples) {
+            mu0_ = baselineSum_ / double(n_);
+            ready_ = true;
+        }
+        return;
+    }
+
+    gPos_ = std::max(0.0, gPos_ + (residual - mu0_ - cfg_.slack));
+    gNeg_ = std::max(0.0, gNeg_ + (mu0_ - residual - cfg_.slack));
+}
+
+double
+DriftDetector::score() const
+{
+    return std::max(gPos_, gNeg_);
+}
+
+double
+DriftDetector::meanAbsResidual() const
+{
+    if (window_.empty())
+        return 0.0;
+    return windowAbsSum_ / double(window_.size());
+}
+
+bool
+DriftDetector::drifted() const
+{
+    if (!ready_)
+        return false;
+    if (score() > cfg_.threshold)
+        return true;
+    return cfg_.meanAbsThreshold > 0.0 &&
+           meanAbsResidual() > cfg_.meanAbsThreshold;
+}
+
+void
+DriftDetector::reset()
+{
+    n_ = 0;
+    ready_ = false;
+    baselineSum_ = 0;
+    mu0_ = 0;
+    gPos_ = 0;
+    gNeg_ = 0;
+    window_.clear();
+    windowAbsSum_ = 0;
+}
+
+} // namespace calib
+} // namespace llmulator

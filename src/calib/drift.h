@@ -1,0 +1,92 @@
+#ifndef LLMULATOR_CALIB_DRIFT_H
+#define LLMULATOR_CALIB_DRIFT_H
+
+/**
+ * @file
+ * Change-point drift detection over prediction residuals.
+ *
+ * The serving loop feeds this detector the signed relative residual of
+ * every shadow-profiled prediction, r = (pred - truth) / max(|truth|,1).
+ * Deciding *when* the deployed model has gone stale is a change-point
+ * problem on that residual process (cf. Negri & Nishiyama's Z-process
+ * treatment of change-point detection): the detector estimates a
+ * post-deployment baseline mean from the first `baselineSamples`
+ * residuals, then runs a two-sided CUSUM (Page's test) against it —
+ *
+ *   g+ <- max(0, g+ + (r - mu0 - k))
+ *   g- <- max(0, g- + (mu0 - r - k))
+ *
+ * with slack k = `slack`, signalling drift once max(g+, g-) exceeds
+ * `threshold`. CUSUM accumulates persistent small shifts and ignores
+ * zero-mean noise, which is exactly the desired trigger shape: a model
+ * that has drifted is *systematically* biased on new traffic, not just
+ * noisy.
+ *
+ * A second, optional absolute trigger (`meanAbsThreshold`) fires when
+ * the rolling mean of |r| over the last `window` residuals exceeds the
+ * bound — the "model is simply bad on this traffic" case that a
+ * baseline-relative test is blind to by construction (the baseline
+ * absorbs any initial bias level).
+ *
+ * Single-threaded by design: the calibration thread owns its detector.
+ */
+
+#include <cstddef>
+#include <deque>
+
+namespace llmulator {
+namespace calib {
+
+/** Drift-detector knobs. */
+struct DriftConfig
+{
+    size_t baselineSamples = 8;   //!< residuals used to estimate mu0
+    double slack = 0.05;          //!< CUSUM slack k (shift dead-band)
+    double threshold = 1.0;       //!< decision bound h on max(g+, g-)
+    //! Rolling-mean-|residual| trigger; 0 disables. Fires only once the
+    //! baseline is ready, so a single outlier can't trip it at startup.
+    double meanAbsThreshold = 0.0;
+    size_t window = 32;           //!< rolling |residual| window length
+};
+
+/** Two-sided CUSUM change-point detector with an absolute backstop. */
+class DriftDetector
+{
+  public:
+    explicit DriftDetector(const DriftConfig& cfg = {});
+
+    /** Feed one signed residual. */
+    void add(double residual);
+
+    /** Current CUSUM statistic max(g+, g-); 0 until baseline ready. */
+    double score() const;
+
+    /** Rolling mean |residual| over the window (0 when empty). */
+    double meanAbsResidual() const;
+
+    /** Whether either trigger currently signals drift. */
+    bool drifted() const;
+
+    bool baselineReady() const { return ready_; }
+    double baselineMean() const { return mu0_; }
+    size_t count() const { return n_; }
+
+    /** Forget everything, baseline included (call after a hot-swap). */
+    void reset();
+
+  private:
+    DriftConfig cfg_;
+    size_t n_ = 0;
+    bool ready_ = false;
+    double baselineSum_ = 0;
+    double mu0_ = 0;
+    double gPos_ = 0;
+    double gNeg_ = 0;
+    std::deque<double> window_;
+    double windowAbsSum_ = 0;
+};
+
+} // namespace calib
+} // namespace llmulator
+
+#endif // LLMULATOR_CALIB_DRIFT_H

@@ -206,6 +206,7 @@ CostModel::clone() const
 {
     auto copy = std::make_unique<CostModel>(cfg_);
     nn::copyParameterValues(*this, *copy);
+    copy->version_ = version_;
     return copy;
 }
 

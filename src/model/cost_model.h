@@ -148,6 +148,15 @@ class CostModel : public nn::Module
     const CostModelConfig& config() const { return cfg_; }
     const tokenizer::Tokenizer& tok() const { return tok_; }
 
+    /**
+     * Monotonic weight-generation stamp. The serving layer bumps this on
+     * every calibration hot-swap and keys its result cache on it, so a
+     * cached prediction can never be served across a weight change.
+     * 0 = as-constructed weights; clone() copies the stamp.
+     */
+    uint64_t version() const { return version_; }
+    void setVersion(uint64_t v) { version_ = v; }
+
     /** Encoder access for the cached fast-inference path. */
     const nn::TransformerEncoder& encoder() const { return *encoder_; }
 
@@ -159,6 +168,7 @@ class CostModel : public nn::Module
 
   private:
     CostModelConfig cfg_;
+    uint64_t version_ = 0;
     tokenizer::Tokenizer tok_;
     std::unique_ptr<nn::TransformerEncoder> encoder_;
     std::unique_ptr<DigitHead> heads_[kNumMetrics];

@@ -34,7 +34,8 @@ uint64_t
 hashResultKey(const ResultKey& k)
 {
     uint64_t h = util::hashCombine(k.program, k.input);
-    return util::hashCombine(h, static_cast<uint64_t>(k.metric));
+    h = util::hashCombine(h, static_cast<uint64_t>(k.metric));
+    return util::hashCombine(h, k.version);
 }
 
 ResultCache::ResultCache(size_t capacity, size_t shards)

@@ -4,11 +4,16 @@
 /**
  * @file
  * Sharded LRU cache of finished predictions, keyed by (program DFIR
- * hash, runtime-input hash, metric). Sharding by key hash keeps lock
- * contention bounded when many workers and client threads hit the cache
- * concurrently; each shard holds an independent LRU list. A capacity of
- * zero disables caching entirely (used by throughput benchmarks that
- * want to measure raw model throughput).
+ * hash, runtime-input hash, metric, model version). Sharding by key
+ * hash keeps lock contention bounded when many workers and client
+ * threads hit the cache concurrently; each shard holds an independent
+ * LRU list. A capacity of zero disables caching entirely (used by
+ * throughput benchmarks that want to measure raw model throughput).
+ *
+ * The model-version component makes calibration hot-swaps cache-safe:
+ * entries produced by a retired weight generation simply stop being
+ * addressable (their version never matches again) and age out of the
+ * LRU — no explicit flush, no lock coupling with the swap itself.
  */
 
 #include <cstdint>
@@ -30,11 +35,12 @@ struct ResultKey
     uint64_t program = 0; //!< dfir::structuralHash of the graph
     uint64_t input = 0;   //!< hashRuntimeData (0 when static)
     int metric = 0;       //!< static_cast<int>(model::Metric)
+    uint64_t version = 0; //!< model weight generation (hot-swap counter)
 
     bool operator==(const ResultKey& o) const
     {
         return program == o.program && input == o.input &&
-               metric == o.metric;
+               metric == o.metric && version == o.version;
     }
 };
 

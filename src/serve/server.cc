@@ -6,6 +6,7 @@
 #include "dfir/ir.h"
 #include "dfir/passes.h"
 #include "obs/trace.h"
+#include "util/common.h"
 
 namespace llmulator {
 namespace serve {
@@ -45,8 +46,20 @@ PredictionServer::PredictionServer(std::unique_ptr<model::CostModel> model,
       assemblyMs_(telemetry_.histogram("serve.stage.assembly_ms")),
       forwardMs_(telemetry_.histogram("serve.stage.forward_ms")),
       decodeMs_(telemetry_.histogram("serve.stage.decode_ms")),
-      cacheFillMs_(telemetry_.histogram("serve.stage.cache_fill_ms"))
+      cacheFillMs_(telemetry_.histogram("serve.stage.cache_fill_ms")),
+      swapCount_(telemetry_.counter("calib.swaps"))
 {
+    LLM_CHECK(model_ != nullptr, "PredictionServer needs a model");
+    version_.store(model_->version(), std::memory_order_release);
+    if (cfg_.calibration.enabled) {
+        calib_ = std::make_unique<CalibrationManager>(
+            cfg_.calibration, [this] { return modelSnapshot(); },
+            [this](std::unique_ptr<model::CostModel> next) {
+                swapModel(std::move(next));
+            },
+            telemetry_);
+        calib_->start();
+    }
     workers_.reserve(cfg_.workers);
     for (int i = 0; i < cfg_.workers; ++i)
         workers_.emplace_back([this] { workerLoop(); });
@@ -80,6 +93,10 @@ PredictionServer::submitAsync(const dfir::DataflowGraph& g,
         req.key.input = data ? hashRuntimeData(*data) : 0;
     }
     req.key.metric = static_cast<int>(metric);
+    // Stamped with the version current at probe time; workers restamp
+    // from their acquired snapshot before computing, so every cache
+    // entry is labeled with the exact weights that produced it.
+    req.key.version = version_.load(std::memory_order_acquire);
     req.metric = metric;
     req.submitTime = Clock::now();
     auto future = req.promise.get_future();
@@ -128,18 +145,29 @@ PredictionServer::workerLoop()
 {
     // One autograd-free inference session per worker: sessions carry
     // mutable state (stats, prefix cache) and so are thread-confined,
-    // while the underlying model is shared read-only.
-    model::InferenceSession session(*model_);
+    // while the underlying model is shared read-only. The model is an
+    // RCU snapshot acquired once per micro-batch — the whole batch is
+    // answered by ONE coherent weight generation even if a hot-swap
+    // lands mid-batch — and the session is rebuilt when the snapshot
+    // changes (it holds a reference into the old model).
+    std::shared_ptr<const model::CostModel> snap = modelSnapshot();
+    auto session = std::make_unique<model::InferenceSession>(*snap);
     std::vector<Request> batch;
     while (queue_.popBatch(batch, static_cast<size_t>(cfg_.batchMax),
                            std::chrono::microseconds(cfg_.batchTimeoutUs))) {
-        processBatch(batch, session);
+        std::shared_ptr<const model::CostModel> cur = modelSnapshot();
+        if (cur != snap) {
+            snap = std::move(cur);
+            session = std::make_unique<model::InferenceSession>(*snap);
+        }
+        processBatch(batch, *session, *snap);
     }
 }
 
 void
 PredictionServer::processBatch(std::vector<Request>& batch,
-                               model::InferenceSession& session)
+                               model::InferenceSession& session,
+                               const model::CostModel& m)
 {
     const uint64_t batchId =
         batches_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -175,6 +203,11 @@ PredictionServer::processBatch(std::vector<Request>& batch,
 
     model::NumericPrediction cached;
     for (Request& req : batch) {
+        // Restamp with the acquired snapshot's version: a request
+        // submitted before a hot-swap but processed after it must probe
+        // and fill the NEW version's cache entries, never the retired
+        // one's.
+        req.key.version = m.version();
         // A sibling batch may have finished this key since submission.
         if (cache_.get(req.key, cached)) {
             cacheHits_.fetch_add(1, std::memory_order_relaxed);
@@ -209,8 +242,8 @@ PredictionServer::processBatch(std::vector<Request>& batch,
     epPtrs.reserve(groups.size());
     for (Group& group : groups) {
         Request& first = *group.members.front();
-        eps.push_back(model_->encode(first.graph,
-                                     first.hasData ? &first.data : nullptr));
+        eps.push_back(m.encode(first.graph,
+                               first.hasData ? &first.data : nullptr));
     }
     for (const auto& ep : eps)
         epPtrs.push_back(&ep);
@@ -253,10 +286,10 @@ PredictionServer::processBatch(std::vector<Request>& batch,
     }
 
     const int dim = pooled->cols;
-    for (int m = 0; m < model::kNumMetrics; ++m) {
+    for (int mi = 0; mi < model::kNumMetrics; ++mi) {
         std::vector<Job*> bucket;
         for (Job& j : jobs)
-            if (j.key.metric == m)
+            if (j.key.metric == mi)
                 bucket.push_back(&j);
         if (bucket.empty())
             continue;
@@ -271,7 +304,7 @@ PredictionServer::processBatch(std::vector<Request>& batch,
         auto bucketPooled = nn::Tensor::fromData(
             static_cast<int>(bucket.size()), dim, std::move(rows));
         std::vector<model::NumericPrediction> preds =
-            model_->head(static_cast<model::Metric>(m))
+            m.head(static_cast<model::Metric>(mi))
                 .decodeBatch(bucketPooled, cfg_.beamWidth);
         modelCalls_.fetch_add(preds.size(), std::memory_order_relaxed);
 
@@ -290,8 +323,16 @@ PredictionServer::processBatch(std::vector<Request>& batch,
             obs::recordSpan("serve.cache_fill", decodeEnd, fillEnd, batchId);
 
         for (size_t bi = 0; bi < bucket.size(); ++bi)
-            for (Request* rp : bucket[bi]->requests)
+            for (Request* rp : bucket[bi]->requests) {
                 fulfil(*rp, preds[bi]);
+                // Shadow stream: offer freshly computed dynamic-cycles
+                // answers for background profiling (fulfil() only
+                // consumes the promise; the graph/data stay owned by
+                // the batch until processBatch returns).
+                if (calib_ && rp->hasData &&
+                    rp->metric == model::Metric::Cycles)
+                    calib_->offer(rp->graph, rp->data, preds[bi].value);
+            }
     }
 }
 
@@ -315,6 +356,44 @@ PredictionServer::stop()
     for (std::thread& w : workers_)
         if (w.joinable())
             w.join();
+    // Workers no longer offer shadow samples; now the calibration
+    // thread can be stopped (it may still complete an in-flight round
+    // and swap — harmless, nothing serves anymore).
+    if (calib_)
+        calib_->stop();
+}
+
+std::shared_ptr<const model::CostModel>
+PredictionServer::modelSnapshot() const
+{
+    std::lock_guard<std::mutex> lk(modelMu_);
+    return model_;
+}
+
+void
+PredictionServer::swapModel(std::unique_ptr<model::CostModel> next)
+{
+    LLM_CHECK(next != nullptr, "swapModel() needs a model");
+    OBS_SPAN("calib.swap");
+    std::shared_ptr<const model::CostModel> retired;
+    {
+        std::lock_guard<std::mutex> lk(modelMu_);
+        const uint64_t v = version_.load(std::memory_order_relaxed) + 1;
+        next->setVersion(v);
+        retired = std::move(model_);
+        model_ = std::shared_ptr<const model::CostModel>(std::move(next));
+        version_.store(v, std::memory_order_release);
+    }
+    swaps_.fetch_add(1, std::memory_order_relaxed);
+    swapCount_.add(1);
+    // `retired` drops here, outside the lock: workers mid-batch still
+    // hold their snapshot, so the old weights die with the last batch.
+}
+
+bool
+PredictionServer::forceCalibrationRound()
+{
+    return calib_ ? calib_->runRoundNow() : false;
 }
 
 ServerStats
@@ -343,6 +422,15 @@ PredictionServer::stats() const
     s.meanForwardMs = forwardMs_.snapshot().mean();
     s.meanDecodeMs = decodeMs_.snapshot().mean();
     s.meanCacheFillMs = cacheFillMs_.snapshot().mean();
+
+    s.modelVersion = version_.load(std::memory_order_acquire);
+    s.calibSwaps = swaps_.load(std::memory_order_relaxed);
+    if (calib_) {
+        CalibrationStats cs = calib_->stats();
+        s.shadowProfiled = cs.profiled;
+        s.driftScore = cs.driftScore;
+        s.meanAbsResidual = cs.meanAbsResidual;
+    }
 
     double elapsed = std::chrono::duration<double>(
                          Clock::now() - startTime_)

@@ -52,6 +52,24 @@
  * loader that fills CostModel::parameters() via eval::loadCached) and
  * hand it to the server, so serving shares training artifacts instead
  * of retraining.
+ *
+ * ## Live calibration (opt-in: ServeConfig::calibration.enabled)
+ *
+ * The server can calibrate itself against traffic drift without a
+ * restart. A CalibrationManager (serve/calibration.h) shadow-profiles a
+ * sampled fraction of answered Cycles requests, watches the residuals
+ * for drift, DPO-calibrates a CLONE of the live model in the
+ * background, and hands the clone back through swapModel(). Publication
+ * is RCU-style: the live model is an immutable snapshot behind a
+ * shared_ptr + monotonically increasing version; workers acquire the
+ * snapshot once per micro-batch, so every request is answered by
+ * exactly one coherent weight generation and the retired model is freed
+ * only when its last in-flight batch finishes. The result cache is
+ * keyed by that version (ResultKey::version), so a cached prediction
+ * can never outlive the weights that produced it. With calibration
+ * disabled (the default) no shadow work, profiling, or swapping
+ * happens and results are bit-identical to a server without the
+ * feature.
  */
 
 #include <atomic>
@@ -66,6 +84,7 @@
 #include "model/cost_model.h"
 #include "model/fast_encoder.h"
 #include "obs/metrics.h"
+#include "serve/calibration.h"
 #include "serve/request_queue.h"
 #include "serve/result_cache.h"
 
@@ -85,6 +104,8 @@ struct ServeConfig
     //! Key the result cache by dfir::canonicalHash (+ scalar-remapped
     //! input hash) so equivalent programs collide; false = raw hashes.
     bool canonicalCacheKeys = true;
+    //! Live calibration pipeline (off by default; see the file header).
+    CalibrationConfig calibration;
 };
 
 /** Point-in-time server statistics snapshot. */
@@ -118,6 +139,13 @@ struct ServerStats
     double meanCacheFillMs = 0;
     double throughputRps = 0; //!< completed / wall time since start
     size_t queueDepth = 0;
+    //! Live-calibration view (all zero when calibration is disabled,
+    //! except modelVersion which also reflects manual swapModel calls).
+    uint64_t modelVersion = 0;   //!< current weight generation
+    uint64_t calibSwaps = 0;     //!< hot-swaps performed
+    uint64_t shadowProfiled = 0; //!< shadow samples simulated
+    double driftScore = 0;       //!< current CUSUM drift statistic
+    double meanAbsResidual = 0;  //!< rolling mean |residual|
 
     /** cacheHits / (cacheHits + cacheMisses), 0 when no lookups. */
     double hitRate() const
@@ -172,7 +200,36 @@ class PredictionServer
      */
     const obs::Registry& telemetry() const { return telemetry_; }
 
-    const model::CostModel& model() const { return *model_; }
+    /**
+     * The currently-published model snapshot (RCU read side). The
+     * returned pointer stays valid — and its weights immutable — for as
+     * long as the caller holds it, even across hot-swaps.
+     */
+    std::shared_ptr<const model::CostModel> modelSnapshot() const;
+
+    /**
+     * Publish `next` as the live model under a new, strictly increasing
+     * version (stamped via CostModel::setVersion). In-flight batches
+     * finish on the snapshot they already acquired; subsequent batches
+     * and cache keys use the new version. The retired model is released
+     * outside the swap lock, when its last reference drops. Thread-safe;
+     * called by the calibration thread and by tests.
+     */
+    void swapModel(std::unique_ptr<model::CostModel> next);
+
+    /** Current weight generation (0 until the first swap). */
+    uint64_t modelVersion() const
+    {
+        return version_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Run one calibration round right now (ignoring drift), if the
+     * manager exists and has shadow-profiled at least one sample.
+     * Returns whether a round (and therefore a swap) ran.
+     */
+    bool forceCalibrationRound();
+
     const ServeConfig& config() const { return cfg_; }
 
   private:
@@ -190,11 +247,17 @@ class PredictionServer
 
     void workerLoop();
     void processBatch(std::vector<Request>& batch,
-                      model::InferenceSession& session);
+                      model::InferenceSession& session,
+                      const model::CostModel& m);
     void fulfil(Request& req, const model::NumericPrediction& pred);
 
     ServeConfig cfg_;
-    std::unique_ptr<model::CostModel> model_;
+    //! RCU write side: the published snapshot, guarded by modelMu_ (the
+    //! version counter is read lock-free on the submit path).
+    mutable std::mutex modelMu_;
+    std::shared_ptr<const model::CostModel> model_;
+    std::atomic<uint64_t> version_{0};
+    std::atomic<uint64_t> swaps_{0};
     ResultCache cache_;
     BoundedQueue<Request> queue_;
     std::vector<std::thread> workers_;
@@ -220,6 +283,11 @@ class PredictionServer
     obs::Histogram& forwardMs_;   //!< serve.stage.forward_ms
     obs::Histogram& decodeMs_;    //!< serve.stage.decode_ms
     obs::Histogram& cacheFillMs_; //!< serve.stage.cache_fill_ms
+    obs::Counter& swapCount_;     //!< calib.swaps
+
+    //! Declared after telemetry_ (holds references into it) so it is
+    //! destroyed first; null when calibration is disabled.
+    std::unique_ptr<CalibrationManager> calib_;
 };
 
 } // namespace serve

@@ -1,10 +1,48 @@
 #include "util/env.h"
 
+#include <cctype>
+#include <cerrno>
+#include <climits>
+#include <cstdio>
 #include <cstdlib>
-#include <cstring>
+#include <mutex>
+#include <set>
 
 namespace llmulator {
 namespace util {
+
+namespace {
+
+/**
+ * Warn once per (variable, value) about an ignored setting. Keyed on
+ * both so a *changed* bad value warns again, while steady-state
+ * re-reads of one knob (every envFlag call re-parses) stay silent
+ * after the first hit.
+ */
+void
+warnOnce(const char* name, const char* value, const char* what)
+{
+    static std::mutex mu;
+    static std::set<std::string>* warned = new std::set<std::string>();
+    std::lock_guard<std::mutex> lk(mu);
+    if (!warned->insert(std::string(name) + "=" + value).second)
+        return;
+    std::fprintf(stderr,
+                 "llmulator: ignoring %s %s=\"%s\" (using the default)\n",
+                 what, name, value);
+}
+
+std::string
+lowered(const char* v)
+{
+    std::string s;
+    for (const char* p = v; *p; ++p)
+        s.push_back(
+            static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+    return s;
+}
+
+} // namespace
 
 const char*
 envRaw(const char* name)
@@ -23,9 +61,15 @@ bool
 envFlag(const char* name, bool def)
 {
     const char* v = std::getenv(name);
-    if (!v)
-        return def;
-    return std::strcmp(v, "0") != 0;
+    if (!v || *v == '\0')
+        return def; // unset (or set-but-empty) means "use the default"
+    std::string s = lowered(v);
+    if (s == "1" || s == "true" || s == "on" || s == "yes")
+        return true;
+    if (s == "0" || s == "false" || s == "off" || s == "no")
+        return false;
+    warnOnce(name, v, "unrecognized boolean");
+    return def;
 }
 
 int
@@ -34,10 +78,30 @@ envInt(const char* name, int def)
     const char* v = std::getenv(name);
     if (!v || *v == '\0')
         return def;
+    errno = 0;
     char* end = nullptr;
     long n = std::strtol(v, &end, 10);
-    if (end == v)
+    if (end == v) {
+        warnOnce(name, v, "malformed integer");
         return def;
+    }
+    // Trailing whitespace is tolerated; any other trailing character
+    // ("8abc", "3.5") rejects the whole value rather than silently
+    // parsing a prefix.
+    while (*end != '\0' &&
+           std::isspace(static_cast<unsigned char>(*end)))
+        ++end;
+    if (*end != '\0') {
+        warnOnce(name, v, "malformed integer");
+        return def;
+    }
+    // strtol saturates at LONG_MIN/LONG_MAX on overflow (ERANGE); on
+    // LP64 a value can also fit `long` but not `int`. Either way, clamp
+    // to the int range instead of truncating bits.
+    if (errno == ERANGE || n > INT_MAX || n < INT_MIN) {
+        warnOnce(name, v, "out-of-range integer (clamped)");
+        return n > 0 ? INT_MAX : INT_MIN;
+    }
     return static_cast<int>(n);
 }
 

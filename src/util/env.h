@@ -9,10 +9,17 @@
  * these helpers instead of ad-hoc getenv() snippets, so the flag
  * semantics stay uniform:
  *
- *  - envFlag():   unset -> default; "0" -> false; any other value ->
- *                 true (the LLMULATOR_SMOKE convention).
+ *  - envFlag():   boolean grammar `0/1/true/false/on/off/yes/no`,
+ *                 case-insensitive. Unset or empty -> default; any
+ *                 unrecognized value -> default, with a one-time
+ *                 stderr warning (so `LLMULATOR_METRICS=false` can
+ *                 never silently *enable* metrics).
  *  - envString(): unset -> default; set -> the raw value (possibly "").
- *  - envInt():    unset or unparsable -> default; else the parsed int.
+ *  - envInt():    strict base-10 integer. Unset/empty or malformed
+ *                 (including trailing garbage like "8abc") -> default
+ *                 with a one-time warning; values outside the int
+ *                 range clamp to INT_MIN/INT_MAX instead of silently
+ *                 truncating the parsed long.
  *
  * Current knobs: LLMULATOR_SMOKE (harness), LLMULATOR_NN_BACKEND (nn),
  * LLMULATOR_TRAIN_THREADS (harness), LLMULATOR_CACHE_DIR (eval),
@@ -31,12 +38,17 @@ const char* envRaw(const char* name);
 std::string envString(const char* name, const std::string& def = "");
 
 /**
- * Boolean knob, LLMULATOR_SMOKE-style: unset returns `def`, the literal
- * "0" is false, any other value (including "") is true.
+ * Boolean knob: `1`/`true`/`on`/`yes` -> true, `0`/`false`/`off`/`no`
+ * -> false (case-insensitive). Unset or empty returns `def`; an
+ * unrecognized value returns `def` and warns once on stderr.
  */
 bool envFlag(const char* name, bool def = false);
 
-/** Integer knob: parsed value, or `def` when unset or unparsable. */
+/**
+ * Integer knob: strict base-10 parse (trailing whitespace tolerated,
+ * trailing garbage rejected). Unset, empty or malformed -> `def`;
+ * out-of-int-range values clamp to INT_MIN/INT_MAX.
+ */
 int envInt(const char* name, int def = 0);
 
 } // namespace util

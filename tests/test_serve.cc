@@ -4,7 +4,10 @@
  * sharded LRU result cache, and the PredictionServer end to end —
  * batched results bit-identical to sequential CostModel::predict(),
  * cache-hit accounting, sustained concurrent submission from many
- * client threads, and clean shutdown with requests still in flight.
+ * client threads, clean shutdown with requests still in flight, and
+ * the live-calibration contracts: RCU hot-swap coherence under
+ * concurrent clients, version-keyed cache invalidation, and the
+ * drift-detect -> background-calibrate -> swap loop end to end.
  *
  * All suites run an *untrained* Tiny model: weight initialization is
  * seeded, so predictions are deterministic, which is all the serving
@@ -584,4 +587,190 @@ TEST(Telemetry, TracingEnabledKeepsResultsBitIdentical)
     obs::setTraceEnabled(false);
     obs::setMetricsEnabled(false);
     obs::clearSpans();
+}
+
+namespace {
+
+/** Tiny model with a non-default init seed: different, fixed weights. */
+std::unique_ptr<model::CostModel>
+tinyModelSeeded(uint64_t seed)
+{
+    auto cfg = tinyConfig();
+    cfg.seed = seed;
+    return std::make_unique<model::CostModel>(cfg);
+}
+
+bool
+samePrediction(const model::NumericPrediction& a,
+               const model::NumericPrediction& b)
+{
+    if (a.value != b.value || a.digits != b.digits ||
+        a.digitProbs != b.digitProbs)
+        return false;
+    return a.logProb == b.logProb;
+}
+
+} // namespace
+
+// Pinned hot-swap contract: under sustained traffic from 8 client
+// threads, swapping the model mid-stream is (a) race-free (the TSan CI
+// job runs this binary), (b) coherent — every single answer is bitwise
+// the old model's or the new model's prediction, never a mixture — and
+// (c) final: once the swap returns, fresh predictions come from the new
+// weights only.
+TEST(PredictionServer, HotSwapUnderConcurrentClientsIsCoherent)
+{
+    auto refA = tinyModel();
+    auto refB = tinyModelSeeded(777);
+    model::InferenceSession seqA(*refA);
+    model::InferenceSession seqB(*refB);
+
+    struct Case
+    {
+        DataflowGraph graph;
+        RuntimeData data;
+    };
+    std::vector<Case> cases;
+    for (long bias : {1, 2, 3, 4})
+        cases.push_back(
+            {makeGraph("swap" + std::to_string(bias), bias),
+             makeData(16 + bias)});
+
+    std::vector<model::NumericPrediction> expectedA, expectedB;
+    for (const Case& cs : cases) {
+        auto epA = refA->encode(cs.graph, &cs.data);
+        auto epB = refB->encode(cs.graph, &cs.data);
+        expectedA.push_back(
+            seqA.predict(epA, model::Metric::Cycles, /*use_cache=*/false));
+        expectedB.push_back(
+            seqB.predict(epB, model::Metric::Cycles, /*use_cache=*/false));
+        // The two weight inits must actually disagree, or "old or new"
+        // below would be vacuous.
+        ASSERT_FALSE(samePrediction(expectedA.back(), expectedB.back()));
+    }
+
+    serve::ServeConfig cfg;
+    cfg.workers = 4;
+    cfg.cacheCapacity = 0; // every answer computed by some version
+    serve::PredictionServer server(tinyModel(), cfg);
+
+    std::atomic<bool> done{false};
+    std::atomic<bool> incoherent{false};
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 8; ++t) {
+        clients.emplace_back([&, t] {
+            size_t i = size_t(t);
+            while (!done.load(std::memory_order_acquire)) {
+                const Case& cs = cases[i % cases.size()];
+                auto got = server.predict(cs.graph, &cs.data,
+                                          model::Metric::Cycles);
+                if (!samePrediction(got, expectedA[i % cases.size()]) &&
+                    !samePrediction(got, expectedB[i % cases.size()]))
+                    incoherent.store(true, std::memory_order_release);
+                ++i;
+            }
+        });
+    }
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    server.swapModel(tinyModelSeeded(777)); // same seed => same bits as refB
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    done.store(true, std::memory_order_release);
+    for (auto& c : clients)
+        c.join();
+
+    EXPECT_FALSE(incoherent.load());
+    EXPECT_EQ(server.stats().modelVersion, 1u);
+    EXPECT_EQ(server.stats().calibSwaps, 1u);
+
+    // Post-swap, the answer is the NEW model's, bitwise — and provably
+    // not the old one's.
+    for (size_t i = 0; i < cases.size(); ++i) {
+        auto post = server.predict(cases[i].graph, &cases[i].data,
+                                   model::Metric::Cycles);
+        expectSamePrediction(post, expectedB[i]);
+        EXPECT_FALSE(samePrediction(post, expectedA[i]));
+    }
+}
+
+// Pinned cache contract across swaps: ResultKey carries the model
+// version, so an entry cached under the old weights is unreachable
+// after the swap (the model re-runs), and the new version's entry is
+// cached and served independently.
+TEST(PredictionServer, VersionKeyedCacheNeverServesStaleVersion)
+{
+    auto refB = tinyModelSeeded(777);
+    model::InferenceSession seqB(*refB);
+
+    serve::ServeConfig cfg;
+    cfg.workers = 1;
+    serve::PredictionServer server(tinyModel(), cfg);
+
+    DataflowGraph g = makeGraph("stale", 6);
+    RuntimeData d = makeData(18);
+
+    auto first = server.predict(g, &d, model::Metric::Cycles);
+    auto again = server.predict(g, &d, model::Metric::Cycles);
+    expectSamePrediction(again, first);
+    EXPECT_EQ(server.stats().modelCalls, 1u);
+    EXPECT_EQ(server.stats().cacheHits, 1u);
+
+    server.swapModel(tinyModelSeeded(777));
+
+    // Same key fields except the version: the stale entry must NOT be
+    // served; the new model runs and its answer is bitwise the seeded
+    // reference's.
+    auto swapped = server.predict(g, &d, model::Metric::Cycles);
+    EXPECT_EQ(server.stats().modelCalls, 2u);
+    auto ep = refB->encode(g, &d);
+    expectSamePrediction(
+        swapped,
+        seqB.predict(ep, model::Metric::Cycles, /*use_cache=*/false));
+    EXPECT_FALSE(samePrediction(swapped, first));
+
+    // The new version's entry is itself cached and re-served bitwise.
+    auto cached = server.predict(g, &d, model::Metric::Cycles);
+    expectSamePrediction(cached, swapped);
+    EXPECT_EQ(server.stats().modelCalls, 2u);
+    EXPECT_EQ(server.stats().modelVersion, 1u);
+}
+
+// End-to-end live-calibration loop: with an untrained model and a
+// hair-trigger drift config, shadow profiling must detect the (large)
+// residuals and the background thread must calibrate + hot-swap without
+// any explicit nudge from the test.
+TEST(PredictionServer, DriftDetectionTriggersBackgroundSwap)
+{
+    serve::ServeConfig cfg;
+    cfg.workers = 2;
+    cfg.cacheCapacity = 0; // every answer computed => offered to shadow
+    cfg.calibration.enabled = true;
+    cfg.calibration.shadowFraction = 1.0;
+    cfg.calibration.minRoundSamples = 1;
+    cfg.calibration.calibSteps = 2; // keep the round cheap
+    cfg.calibration.drift.baselineSamples = 2;
+    // An untrained model is wildly wrong vs the simulator, so the
+    // rolling mean-|residual| backstop fires deterministically once two
+    // samples are in.
+    cfg.calibration.drift.meanAbsThreshold = 1e-6;
+    cfg.calibration.drift.window = 4;
+    serve::PredictionServer server(tinyModel(), cfg);
+
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(120);
+    long n = 8;
+    while (server.stats().calibSwaps == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+        DataflowGraph g = makeGraph("drift", n % 5);
+        RuntimeData d = makeData(n);
+        n = 8 + (n + 3) % 23; // vary inputs so residuals keep flowing
+        server.predict(g, &d, model::Metric::Cycles);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+
+    auto stats = server.stats();
+    EXPECT_GE(stats.calibSwaps, 1u) << "drift never triggered a swap";
+    EXPECT_GE(stats.modelVersion, 1u);
+    EXPECT_GE(stats.shadowProfiled, 2u);
+    server.stop(); // joins workers, then the calibration thread
 }

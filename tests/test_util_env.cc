@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Environment-knob parsing tests (util/env.h): the boolean grammar
+ * (`0/1/true/false/on/off/yes/no`, case-insensitive, default on
+ * anything else — so LLMULATOR_METRICS=false can never *enable*
+ * metrics), and strict envInt parsing (trailing garbage rejected,
+ * out-of-int-range values clamped instead of truncated).
+ *
+ * Each test round-trips through setenv/unsetenv on its own private
+ * variable name, so suites never interfere with each other or with the
+ * real LLMULATOR_* knobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <climits>
+#include <cstdlib>
+#include <string>
+
+#include "util/env.h"
+
+using namespace llmulator;
+
+namespace {
+
+/** Scoped setenv: restores "unset" on destruction. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char* name, const char* value) : name_(name)
+    {
+        ::setenv(name, value, /*overwrite=*/1);
+    }
+    ~ScopedEnv() { ::unsetenv(name_.c_str()); }
+
+  private:
+    std::string name_;
+};
+
+} // namespace
+
+TEST(Env, FlagUnsetReturnsDefault)
+{
+    ::unsetenv("LLMT_FLAG_UNSET");
+    EXPECT_FALSE(util::envFlag("LLMT_FLAG_UNSET", false));
+    EXPECT_TRUE(util::envFlag("LLMT_FLAG_UNSET", true));
+}
+
+TEST(Env, FlagEmptyReturnsDefault)
+{
+    ScopedEnv e("LLMT_FLAG_EMPTY", "");
+    EXPECT_FALSE(util::envFlag("LLMT_FLAG_EMPTY", false));
+    EXPECT_TRUE(util::envFlag("LLMT_FLAG_EMPTY", true));
+}
+
+TEST(Env, FlagAcceptsTheWholeBooleanGrammar)
+{
+    for (const char* v : {"1", "true", "on", "yes", "TRUE", "On", "YES"}) {
+        ScopedEnv e("LLMT_FLAG_TRUE", v);
+        EXPECT_TRUE(util::envFlag("LLMT_FLAG_TRUE", false)) << v;
+    }
+    for (const char* v : {"0", "false", "off", "no", "FALSE", "Off", "NO"}) {
+        ScopedEnv e("LLMT_FLAG_FALSE", v);
+        // def=true proves these genuinely parse as false rather than
+        // falling through to the default.
+        EXPECT_FALSE(util::envFlag("LLMT_FLAG_FALSE", true)) << v;
+    }
+}
+
+TEST(Env, FlagFalseDisablesEvenWithFalseyDefault)
+{
+    // The original bug: any non-"0" value — including "false" — parsed
+    // as true. The grammar must map "false" to false, full stop.
+    ScopedEnv e("LLMT_FLAG_REGRESSION", "false");
+    EXPECT_FALSE(util::envFlag("LLMT_FLAG_REGRESSION", false));
+}
+
+TEST(Env, FlagUnrecognizedFallsBackToDefault)
+{
+    for (const char* v : {"2", "enabled", "tru", " 1", "yes!", "-1"}) {
+        ScopedEnv e("LLMT_FLAG_BAD", v);
+        EXPECT_FALSE(util::envFlag("LLMT_FLAG_BAD", false)) << v;
+        EXPECT_TRUE(util::envFlag("LLMT_FLAG_BAD", true)) << v;
+    }
+}
+
+TEST(Env, IntParsesPlainNumbers)
+{
+    {
+        ScopedEnv e("LLMT_INT_OK", "8");
+        EXPECT_EQ(util::envInt("LLMT_INT_OK", -1), 8);
+    }
+    {
+        ScopedEnv e("LLMT_INT_NEG", "-42");
+        EXPECT_EQ(util::envInt("LLMT_INT_NEG", -1), -42);
+    }
+    {
+        // Leading whitespace and sign are strtol's normal prefix;
+        // trailing whitespace is tolerated too.
+        ScopedEnv e("LLMT_INT_WS", "  7 ");
+        EXPECT_EQ(util::envInt("LLMT_INT_WS", -1), 7);
+    }
+}
+
+TEST(Env, IntRejectsTrailingGarbage)
+{
+    for (const char* v : {"8abc", "3.5", "1e3", "0x10", "12,", "--7"}) {
+        ScopedEnv e("LLMT_INT_BAD", v);
+        EXPECT_EQ(util::envInt("LLMT_INT_BAD", 99), 99) << v;
+    }
+}
+
+TEST(Env, IntUnsetEmptyOrMalformedReturnsDefault)
+{
+    ::unsetenv("LLMT_INT_UNSET");
+    EXPECT_EQ(util::envInt("LLMT_INT_UNSET", 5), 5);
+    {
+        ScopedEnv e("LLMT_INT_EMPTY", "");
+        EXPECT_EQ(util::envInt("LLMT_INT_EMPTY", 5), 5);
+    }
+    {
+        ScopedEnv e("LLMT_INT_WORDS", "abc");
+        EXPECT_EQ(util::envInt("LLMT_INT_WORDS", 5), 5);
+    }
+}
+
+TEST(Env, IntClampsOutOfRangeInsteadOfTruncating)
+{
+    {
+        // Fits in long on LP64, not in int: must clamp, never truncate
+        // (a bit-truncated 2147483648 would come back as INT_MIN).
+        ScopedEnv e("LLMT_INT_BIG", "2147483648");
+        EXPECT_EQ(util::envInt("LLMT_INT_BIG", 0), INT_MAX);
+    }
+    {
+        ScopedEnv e("LLMT_INT_SMALL", "-2147483649");
+        EXPECT_EQ(util::envInt("LLMT_INT_SMALL", 0), INT_MIN);
+    }
+    {
+        // Overflows long too (strtol saturates with ERANGE).
+        ScopedEnv e("LLMT_INT_HUGE", "999999999999999999999999");
+        EXPECT_EQ(util::envInt("LLMT_INT_HUGE", 0), INT_MAX);
+    }
+    {
+        ScopedEnv e("LLMT_INT_NHUGE", "-999999999999999999999999");
+        EXPECT_EQ(util::envInt("LLMT_INT_NHUGE", 0), INT_MIN);
+    }
+    {
+        ScopedEnv e("LLMT_INT_EDGE", "2147483647");
+        EXPECT_EQ(util::envInt("LLMT_INT_EDGE", 0), INT_MAX);
+    }
+    {
+        ScopedEnv e("LLMT_INT_NEDGE", "-2147483648");
+        EXPECT_EQ(util::envInt("LLMT_INT_NEDGE", 0), INT_MIN);
+    }
+}
+
+TEST(Env, StringRoundTrips)
+{
+    ::unsetenv("LLMT_STR_UNSET");
+    EXPECT_EQ(util::envString("LLMT_STR_UNSET", "fallback"), "fallback");
+    {
+        ScopedEnv e("LLMT_STR_SET", "value with spaces");
+        EXPECT_EQ(util::envString("LLMT_STR_SET"), "value with spaces");
+    }
+    {
+        // Unlike envFlag, an *empty* set string is returned as-is.
+        ScopedEnv e("LLMT_STR_EMPTY", "");
+        EXPECT_EQ(util::envString("LLMT_STR_EMPTY", "fallback"), "");
+    }
+}
+
+TEST(Env, RawReturnsNullWhenUnset)
+{
+    ::unsetenv("LLMT_RAW_UNSET");
+    EXPECT_EQ(util::envRaw("LLMT_RAW_UNSET"), nullptr);
+    ScopedEnv e("LLMT_RAW_SET", "x");
+    ASSERT_NE(util::envRaw("LLMT_RAW_SET"), nullptr);
+    EXPECT_STREQ(util::envRaw("LLMT_RAW_SET"), "x");
+}
