@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Fleet-serving benchmark: a FleetServer (sharded PredictionServers
+ * behind the loopback TCP front-end) driven by the fleet simulator
+ * across fleet sizes and popularity skews. The grid is
+ * {8, 64} client threads x Zipf skew {0, 1}: skew 0 replays the corpus
+ * uniformly, skew 1 is the heavy-tailed mix a real device fleet
+ * produces — which is where canonical-hash sharding plus the result
+ * caches pay off as a climbing hit rate and falling tail latency.
+ *
+ * CSV lines (name,metric,value):
+ *   serve_fleet,hw_threads,<hardware concurrency>
+ *   serve_fleet,corpus,<distinct programs in the replay corpus>
+ *   serve_fleet,rps_c<N>_s<K>,<ok req/s, N clients, Zipf skew K>
+ *   serve_fleet,p99_ms_c<N>_s<K>,<client-observed p99 round trip, ms>
+ *   serve_fleet,hit_rate_c<N>_s<K>,<cache-served fraction of Ok answers>
+ *   serve_fleet,overload_rate_c<N>_s<K>,<OVERLOADED fraction of calls>
+ *   serve_fleet,net.*,<front-end registry rows from the last config>
+ *
+ * The model is an untrained Tiny CostModel: weight init is seeded, so
+ * runs are reproducible, and serving throughput does not depend on
+ * what the weights converged to — only on tensor shapes, which is
+ * what this bench measures.
+ */
+
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "dfir/builder.h"
+#include "eval/table.h"
+#include "harness/harness.h"
+#include "net/fleet_server.h"
+#include "net/fleet_sim.h"
+#include "util/string_util.h"
+
+using namespace llmulator;
+using namespace llmulator::dfir;
+
+namespace {
+
+/** One corpus kernel: Y[i] = X[i] + bias over an N-element vector. */
+net::SimQuery
+scaleQuery(long idx)
+{
+    Operator op;
+    op.name = "scale";
+    op.scalarParams = {"N"};
+    op.tensors = {tensor("X", {p("N")}), tensor("Y", {p("N")})};
+    op.body = {forLoop("i", c(0), p("N"),
+                       {assign("Y", {v("i")},
+                               badd(a("X", {v("i")}), c(idx + 1)))})};
+    DataflowGraph g;
+    g.name = util::format("fleet-%ld", idx);
+    g.ops = {op};
+    g.calls = {{"scale"}};
+
+    RuntimeData d;
+    d.scalars["N"] = 16 + (idx % 7) * 8;
+    auto metric = static_cast<model::Metric>(idx % model::kNumMetrics);
+    return net::makeSimQuery(
+        g, metric == model::Metric::Cycles ? &d : nullptr, metric);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bench::parseArgs(argc, argv);
+    const bool quick = harness::smokeMode();
+
+    auto model = std::make_unique<model::CostModel>([] {
+        auto cfg = model::configForScale(model::ModelScale::Tiny);
+        cfg.enc.maxSeq = 128;
+        return cfg;
+    }());
+
+    const long corpusSize = quick ? 8 : 24;
+    std::vector<net::SimQuery> corpus;
+    corpus.reserve(size_t(corpusSize));
+    for (long i = 0; i < corpusSize; ++i)
+        corpus.push_back(scaleQuery(i));
+
+    bench::csv("serve_fleet", "hw_threads",
+               double(std::thread::hardware_concurrency()));
+    bench::csv("serve_fleet", "corpus", double(corpusSize));
+
+    eval::Table table(
+        {"clients", "skew", "req/s", "p99 (ms)", "hit rate", "overload"});
+    std::unique_ptr<net::FleetServer> lastFleet;
+    for (int clients : {8, 64}) {
+        for (int skew : {0, 1}) {
+            net::FleetConfig cfg;
+            cfg.shards = 4;
+            cfg.serve.workers = 2;
+            auto fleet = std::make_unique<net::FleetServer>(
+                model->clone(), cfg);
+            fleet->start();
+
+            net::SimConfig sim;
+            sim.clients = clients;
+            sim.requestsPerClient = quick ? 8 : 64;
+            sim.zipfSkew = double(skew);
+            sim.seed = 42 + uint64_t(clients) * 10 + uint64_t(skew);
+            net::SimResult res =
+                net::runFleet(fleet->port(), corpus, sim);
+
+            net::FleetStats stats = fleet->stats();
+            double calls = double(res.ok + res.overloaded + res.failed);
+            double overloadRate =
+                calls <= 0 ? 0 : double(res.overloaded) / calls;
+            table.addRow({std::to_string(clients), std::to_string(skew),
+                          util::format("%.1f", res.rps),
+                          util::format("%.2f", res.p99Ms),
+                          util::format("%.1f%%", stats.hitRate() * 100.0),
+                          util::format("%.1f%%", overloadRate * 100.0)});
+            const std::string tag =
+                util::format("_c%d_s%d", clients, skew);
+            bench::csv("serve_fleet", ("rps" + tag).c_str(), res.rps);
+            bench::csv("serve_fleet", ("p99_ms" + tag).c_str(), res.p99Ms);
+            bench::csv("serve_fleet", ("hit_rate" + tag).c_str(),
+                       stats.hitRate());
+            bench::csv("serve_fleet", ("overload_rate" + tag).c_str(),
+                       overloadRate);
+            fleet->stop();
+            lastFleet = std::move(fleet); // keep for the registry dump
+        }
+    }
+    std::printf("== fleet serving (4 shards, 2 workers each) ==\n");
+    table.print();
+
+    // Front-end telemetry of the last (largest, most skewed) config.
+    bench::dumpRegistryCsv("serve_fleet", lastFleet->telemetry());
+    return 0;
+}

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Networked fleet-serving demo: stand a FleetServer (sharded
+ * PredictionServers behind the loopback TCP front-end) on an ephemeral
+ * port, round-trip queries through a FleetClient, run a short
+ * Zipf-skewed fleet simulation, then restart the whole fleet and show
+ * the persistent result cache answering the replayed queries without
+ * any model work. This is also the CI smoke leg for src/net: every
+ * claim below is LLM_CHECKed, so a regression fails the run instead of
+ * just printing different numbers.
+ *
+ *   ./fleet_demo                     # full simulation
+ *   LLMULATOR_SMOKE=1 ./fleet_demo   # seconds, used by the smoke test
+ *
+ * Knobs (see README "Networked serving"): the fleet shape comes from
+ * fleetConfigFromEnv(), so LLMULATOR_NET_SHARDS etc. apply — except the
+ * port and cache file, which this demo pins (ephemeral port, a
+ * pid-suffixed /tmp snapshot it deletes on exit).
+ */
+
+#include <cstdio>
+#include <unistd.h>
+#include <vector>
+
+#include "dfir/builder.h"
+#include "harness/harness.h"
+#include "net/fleet_client.h"
+#include "net/fleet_server.h"
+#include "net/fleet_sim.h"
+#include "util/common.h"
+#include "util/string_util.h"
+
+using namespace llmulator;
+using namespace llmulator::dfir;
+
+namespace {
+
+/** Y[i] = X[i] + bias: the demo corpus, parameterized by bias. */
+DataflowGraph
+makeGraph(long bias)
+{
+    Operator op;
+    op.name = "scale";
+    op.scalarParams = {"N"};
+    op.tensors = {tensor("X", {p("N")}), tensor("Y", {p("N")})};
+    op.body = {forLoop("i", c(0), p("N"),
+                       {assign("Y", {v("i")},
+                               badd(a("X", {v("i")}), c(bias)))})};
+    DataflowGraph g;
+    g.name = util::format("fleet-demo-%ld", bias);
+    g.ops = {op};
+    g.calls = {{"scale"}};
+    return g;
+}
+
+std::unique_ptr<model::CostModel>
+tinyModel()
+{
+    // Untrained Tiny model: init is seeded, so the restarted fleet
+    // below rebuilds the *same* model and the persistent cache stays
+    // valid across the restart — exactly the redeploy scenario.
+    auto cfg = model::configForScale(model::ModelScale::Tiny);
+    cfg.enc.maxSeq = 128;
+    return std::make_unique<model::CostModel>(cfg);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::setvbuf(stdout, nullptr, _IOLBF, 0);
+    const bool smoke = harness::smokeMode();
+    const std::string cachePath = util::format(
+        "/tmp/llm_fleet_demo_%ld.cache", static_cast<long>(::getpid()));
+    std::remove(cachePath.c_str());
+
+    net::FleetConfig cfg = net::fleetConfigFromEnv();
+    cfg.port = 0; // always ephemeral: demos must not collide
+    cfg.persistPath = cachePath;
+    if (smoke)
+        cfg.shards = std::min(cfg.shards, 2);
+
+    DataflowGraph g = makeGraph(7);
+    RuntimeData d;
+    d.scalars["N"] = 32;
+    model::NumericPrediction coldPred;
+
+    // --- Generation 1: cold fleet -------------------------------------
+    {
+        net::FleetServer fleet(tinyModel(), cfg);
+        fleet.start();
+        std::printf("== fleet up: 127.0.0.1:%d, %zu shards ==\n",
+                    fleet.port(), fleet.shardCount());
+
+        net::FleetClient client;
+        LLM_CHECK(client.connectLoopback(fleet.port()),
+                  "fleet_demo: connect failed");
+        net::NetResponse resp;
+        LLM_CHECK(client.predict(g, &d, model::Metric::Cycles,
+                                 serve::Priority::Normal, resp),
+                  "fleet_demo: round trip failed");
+        LLM_CHECK(resp.status == net::Status::Ok,
+                  "fleet_demo: first query not Ok");
+        LLM_CHECK(!resp.cacheHit, "fleet_demo: cold query was a hit?");
+        coldPred = resp.prediction;
+        std::printf("cold prediction: cycles=%ld (model v%llu)\n",
+                    coldPred.value,
+                    static_cast<unsigned long long>(resp.modelVersion));
+
+        // A short simulated fleet: skewed popularity makes the sharded
+        // caches visible in the hit rate.
+        std::vector<net::SimQuery> corpus;
+        for (long i = 0; i < (smoke ? 4 : 12); ++i) {
+            DataflowGraph cg = makeGraph(i + 1);
+            RuntimeData cd;
+            cd.scalars["N"] = 16 + i * 4;
+            corpus.push_back(
+                net::makeSimQuery(cg, &cd, model::Metric::Cycles));
+        }
+        net::SimConfig sim;
+        sim.clients = smoke ? 4 : 8;
+        sim.requestsPerClient = smoke ? 6 : 40;
+        sim.zipfSkew = 1.0;
+        net::SimResult res = net::runFleet(fleet.port(), corpus, sim);
+        net::FleetStats stats = fleet.stats();
+        std::printf("sim: ok=%llu overloaded=%llu rps=%.1f p99=%.2fms "
+                    "hit_rate=%.1f%%\n",
+                    static_cast<unsigned long long>(res.ok),
+                    static_cast<unsigned long long>(res.overloaded),
+                    res.rps, res.p99Ms, stats.hitRate() * 100.0);
+        LLM_CHECK(res.failed == 0, "fleet_demo: transport failures");
+        LLM_CHECK(res.ok > 0, "fleet_demo: no queries served");
+
+        fleet.stop(); // snapshots the persistent cache to cachePath
+    }
+
+    // --- Generation 2: restarted fleet, warm persistent cache ---------
+    {
+        net::FleetServer fleet(tinyModel(), cfg);
+        net::FleetStats cold = fleet.stats();
+        std::printf("== restart: %llu cached results loaded ==\n",
+                    static_cast<unsigned long long>(cold.persistLoaded));
+        LLM_CHECK(cold.persistLoaded > 0,
+                  "fleet_demo: snapshot loaded nothing");
+        fleet.start();
+
+        net::FleetClient client;
+        LLM_CHECK(client.connectLoopback(fleet.port()),
+                  "fleet_demo: reconnect failed");
+        net::NetResponse resp;
+        LLM_CHECK(client.predict(g, &d, model::Metric::Cycles,
+                                 serve::Priority::Normal, resp),
+                  "fleet_demo: replay round trip failed");
+        LLM_CHECK(resp.status == net::Status::Ok,
+                  "fleet_demo: replay not Ok");
+        LLM_CHECK(resp.cacheHit,
+                  "fleet_demo: replay missed the persistent cache");
+        LLM_CHECK(resp.prediction.value == coldPred.value,
+                  "fleet_demo: cached prediction diverged");
+        net::FleetStats warm = fleet.stats();
+        LLM_CHECK(warm.shardModelCalls == 0,
+                  "fleet_demo: replay ran the model anyway");
+        std::printf("replay: cycles=%ld served from the persistent cache "
+                    "(0 model calls)\n",
+                    resp.prediction.value);
+    }
+
+    std::remove(cachePath.c_str());
+    std::printf("OK\n");
+    return 0;
+}

@@ -1,0 +1,320 @@
+#include "net/fleet_server.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "dfir/parser.h"
+#include "dfir/passes.h"
+#include "util/common.h"
+#include "util/env.h"
+
+namespace llmulator {
+namespace net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msBetween(Clock::time_point a, Clock::time_point b)
+{
+    return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+FleetConfig
+normalized(FleetConfig cfg)
+{
+    cfg.shards = std::max(1, cfg.shards);
+    cfg.maxConnections = std::max(1, cfg.maxConnections);
+    cfg.maxFrameBytes = std::max<size_t>(64, cfg.maxFrameBytes);
+    return cfg;
+}
+
+} // namespace
+
+FleetConfig
+fleetConfigFromEnv(FleetConfig base)
+{
+    base.port = util::envInt("LLMULATOR_NET_PORT", base.port);
+    base.shards = util::envInt("LLMULATOR_NET_SHARDS", base.shards);
+    base.maxConnections =
+        util::envInt("LLMULATOR_NET_MAX_CONNS", base.maxConnections);
+    base.persistPath =
+        util::envString("LLMULATOR_NET_CACHE_FILE", base.persistPath);
+    const char* admitKnob[serve::kNumPriorities] = {
+        "LLMULATOR_NET_ADMIT_HIGH", "LLMULATOR_NET_ADMIT_NORMAL",
+        "LLMULATOR_NET_ADMIT_LOW"};
+    for (int k = 0; k < serve::kNumPriorities; ++k) {
+        int v = util::envInt(admitKnob[k], 0);
+        if (v > 0)
+            base.serve.admitDepth[size_t(k)] = static_cast<size_t>(v);
+    }
+    return base;
+}
+
+FleetServer::FleetServer(std::unique_ptr<model::CostModel> model,
+                         const FleetConfig& cfg)
+    : cfg_(normalized(cfg)),
+      persist_(cfg_.persistCapacity),
+      requests_(telemetry_.counter("net.requests")),
+      okCount_(telemetry_.counter("net.ok")),
+      overloadedCount_(telemetry_.counter("net.overloaded")),
+      badRequestCount_(telemetry_.counter("net.bad_request")),
+      errorCount_(telemetry_.counter("net.error")),
+      persistHits_(telemetry_.counter("net.persist.hits")),
+      persistLookups_(telemetry_.counter("net.persist.lookups")),
+      handleMs_(telemetry_.histogram("net.handle_ms"))
+{
+    LLM_CHECK(model != nullptr, "FleetServer needs a model");
+    LLM_CHECK(!cfg_.serve.calibration.enabled,
+              "fleet shards must not calibrate: per-shard hot-swaps would "
+              "fork the model version the persistent cache is keyed by");
+    modelVersion_ = model->version();
+    shards_.reserve(static_cast<size_t>(cfg_.shards));
+    for (int i = 1; i < cfg_.shards; ++i)
+        shards_.push_back(std::make_unique<serve::PredictionServer>(
+            model->clone(), cfg_.serve));
+    shards_.push_back(std::make_unique<serve::PredictionServer>(
+        std::move(model), cfg_.serve));
+    if (!cfg_.persistPath.empty()) {
+        PersistentResultCache::LoadStats ls =
+            persist_.load(cfg_.persistPath, modelVersion_);
+        persistLoaded_ = ls.loaded;
+        persistStale_ = ls.staleSkipped;
+    }
+}
+
+FleetServer::~FleetServer()
+{
+    stop();
+}
+
+void
+FleetServer::start()
+{
+    if (running_.exchange(true, std::memory_order_acq_rel))
+        return;
+    LLM_CHECK(!stopped_.load(std::memory_order_acquire),
+              "FleetServer cannot restart after stop()");
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    LLM_CHECK(listenFd_ >= 0, "FleetServer: socket() failed");
+    int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(cfg_.port));
+    LLM_CHECK(::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof addr) == 0,
+              "FleetServer: bind() on loopback failed");
+    LLM_CHECK(::listen(listenFd_, 128) == 0,
+              "FleetServer: listen() failed");
+
+    socklen_t len = sizeof addr;
+    ::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = static_cast<int>(ntohs(addr.sin_port));
+
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+FleetServer::acceptLoop()
+{
+    // Poll with a short timeout instead of blocking in accept(), so
+    // stop() only needs to flip the flag — no signal or socket trick
+    // required to wake this thread portably.
+    while (!stopped_.load(std::memory_order_acquire)) {
+        pollfd pfd{listenFd_, POLLIN, 0};
+        int pr = ::poll(&pfd, 1, /*timeout_ms=*/50);
+        if (pr <= 0)
+            continue;
+        int cfd = ::accept(listenFd_, nullptr, nullptr);
+        if (cfd < 0)
+            continue;
+        std::lock_guard<std::mutex> lk(connMu_);
+        if (stopped_.load(std::memory_order_acquire) ||
+            connFds_.size() >= static_cast<size_t>(cfg_.maxConnections)) {
+            ::close(cfd); // over the connection budget: refuse at accept
+            continue;
+        }
+        connFds_.insert(cfd);
+        connThreads_.emplace_back([this, cfd] { connectionLoop(cfd); });
+    }
+}
+
+void
+FleetServer::connectionLoop(int fd)
+{
+    std::string payload;
+    while (readFrame(fd, payload, cfg_.maxFrameBytes)) {
+        NetRequest req;
+        NetResponse resp;
+        std::string err;
+        if (decodeRequest(payload, req, &err)) {
+            resp = handle(req);
+        } else {
+            // A cleanly framed but undecodable payload gets an explicit
+            // answer; only framing violations drop the connection.
+            requests_.add(1);
+            badRequestCount_.add(1);
+            resp.status = Status::BadRequest;
+            resp.error = err;
+        }
+        if (!writeFrame(fd, encodeResponse(resp)))
+            break;
+    }
+    {
+        // Deregister before close so stop() never shutdown()s a
+        // recycled descriptor.
+        std::lock_guard<std::mutex> lk(connMu_);
+        connFds_.erase(fd);
+    }
+    ::close(fd);
+}
+
+NetResponse
+FleetServer::handle(const NetRequest& req)
+{
+    const auto t0 = Clock::now();
+    requests_.add(1);
+    NetResponse resp;
+    resp.modelVersion = modelVersion_;
+
+    dfir::ParseResult parsed = dfir::parseProgram(req.program);
+    if (!parsed.ok) {
+        badRequestCount_.add(1);
+        resp.status = Status::BadRequest;
+        resp.error = "parse error: " + parsed.error;
+        handleMs_.record(msBetween(t0, Clock::now()));
+        return resp;
+    }
+
+    // One canonicalization decides both the shard and the persistent
+    // key, so equivalent programs share a shard, its result cache, and
+    // one persistent entry (the shard re-derives the same canonical key
+    // internally for its own cache).
+    dfir::CanonResult canon = dfir::canonicalizeEx(parsed.graph);
+    serve::ResultKey key;
+    key.program = dfir::structuralHash(canon.graph);
+    key.input = req.hasData
+                    ? serve::hashRuntimeData(dfir::remapRuntimeData(
+                          req.data, canon.scalarRenames))
+                    : 0;
+    key.metric = static_cast<int>(req.metric);
+    key.version = modelVersion_;
+
+    // The persistent cache only runs when a snapshot path is
+    // configured: without one it would just shadow the shard result
+    // caches with a second in-memory copy.
+    const bool persistOn = !cfg_.persistPath.empty();
+    if (persistOn) {
+        persistLookups_.add(1);
+        if (persist_.get(key, resp.prediction)) {
+            persistHits_.add(1);
+            okCount_.add(1);
+            resp.status = Status::Ok;
+            resp.cacheHit = true;
+            handleMs_.record(msBetween(t0, Clock::now()));
+            return resp;
+        }
+    }
+
+    serve::PredictionServer& target =
+        *shards_[shardOf(key.program, shards_.size())];
+    serve::Admission adm = target.submitIfAdmitted(
+        parsed.graph, req.hasData ? &req.data : nullptr, req.metric,
+        req.priority);
+    if (adm.status != serve::AdmitStatus::Accepted) {
+        overloadedCount_.add(1);
+        resp.status = Status::Overloaded;
+        resp.error = adm.status == serve::AdmitStatus::Shed
+                         ? "shed: queue over this priority's depth limit"
+                         : "rejected: queue full";
+        handleMs_.record(msBetween(t0, Clock::now()));
+        return resp;
+    }
+
+    try {
+        resp.prediction = adm.future.get();
+    } catch (const std::exception& e) {
+        errorCount_.add(1);
+        resp.status = Status::Error;
+        resp.error = e.what();
+        handleMs_.record(msBetween(t0, Clock::now()));
+        return resp;
+    }
+    if (persistOn)
+        persist_.put(key, resp.prediction);
+    okCount_.add(1);
+    resp.status = Status::Ok;
+    handleMs_.record(msBetween(t0, Clock::now()));
+    return resp;
+}
+
+void
+FleetServer::stop()
+{
+    if (stopped_.exchange(true, std::memory_order_acq_rel))
+        return;
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    // Unblock every connection read, then join. Threads deregister
+    // their fd before closing it, so each shutdown() hits a live one.
+    std::vector<std::thread> conns;
+    {
+        std::lock_guard<std::mutex> lk(connMu_);
+        for (int fd : connFds_)
+            ::shutdown(fd, SHUT_RDWR);
+        conns.swap(connThreads_);
+    }
+    for (std::thread& t : conns)
+        if (t.joinable())
+            t.join();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    // Connections are gone; drain the shards, then snapshot the
+    // persistent cache with every completed prediction included.
+    for (auto& s : shards_)
+        s->stop();
+    if (!cfg_.persistPath.empty())
+        persist_.save(cfg_.persistPath);
+}
+
+FleetStats
+FleetServer::stats() const
+{
+    FleetStats s;
+    s.requests = requests_.total();
+    s.ok = okCount_.total();
+    s.overloaded = overloadedCount_.total();
+    s.badRequest = badRequestCount_.total();
+    s.errors = errorCount_.total();
+    s.persistHits = persistHits_.total();
+    s.persistLookups = persistLookups_.total();
+    s.persistSize = persist_.size();
+    s.persistLoaded = persistLoaded_;
+    s.persistStale = persistStale_;
+    for (const auto& shard : shards_) {
+        serve::ServerStats ss = shard->stats();
+        s.shardCacheHits += ss.cacheHits;
+        s.shardCacheMisses += ss.cacheMisses;
+        s.shardModelCalls += ss.modelCalls;
+        s.shardRejected += ss.rejected;
+        for (int k = 0; k < serve::kNumPriorities; ++k)
+            s.shardShed[size_t(k)] += ss.shed[size_t(k)];
+    }
+    return s;
+}
+
+} // namespace net
+} // namespace llmulator

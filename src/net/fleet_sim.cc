@@ -1,0 +1,157 @@
+#include "net/fleet_sim.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <thread>
+
+#include "dfir/printer.h"
+#include "net/fleet_client.h"
+#include "util/common.h"
+#include "util/rng.h"
+
+namespace llmulator {
+namespace net {
+
+SimQuery
+makeSimQuery(const dfir::DataflowGraph& g, const dfir::RuntimeData* data,
+             model::Metric metric)
+{
+    SimQuery q;
+    q.program = dfir::printStatic(g);
+    if (data) {
+        q.data = *data;
+        q.hasData = true;
+    }
+    q.metric = metric;
+    return q;
+}
+
+namespace {
+
+/** Cumulative popularity over ranks: weight(i) = (i + 1)^-skew. */
+std::vector<double>
+popularityCdf(size_t n, double skew)
+{
+    std::vector<double> cdf(n);
+    double total = 0;
+    for (size_t i = 0; i < n; ++i) {
+        total += std::pow(double(i + 1), -skew);
+        cdf[i] = total;
+    }
+    for (double& c : cdf)
+        c /= total;
+    return cdf;
+}
+
+size_t
+sampleRank(const std::vector<double>& cdf, double u)
+{
+    auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    return it == cdf.end() ? cdf.size() - 1
+                           : static_cast<size_t>(it - cdf.begin());
+}
+
+struct ClientOutcome
+{
+    uint64_t ok = 0;
+    uint64_t overloaded = 0;
+    uint64_t failed = 0;
+    std::vector<double> latenciesMs; //!< Ok round trips only
+};
+
+} // namespace
+
+SimResult
+runFleet(int port, const std::vector<SimQuery>& corpus,
+         const SimConfig& cfg)
+{
+    LLM_CHECK(!corpus.empty(), "runFleet needs a non-empty corpus");
+    const int clients = std::max(1, cfg.clients);
+    const int perClient = std::max(1, cfg.requestsPerClient);
+    const std::vector<double> cdf =
+        popularityCdf(corpus.size(), cfg.zipfSkew);
+
+    std::vector<ClientOutcome> outcomes(static_cast<size_t>(clients));
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(clients));
+    const auto start = std::chrono::steady_clock::now();
+
+    for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            ClientOutcome& out = outcomes[static_cast<size_t>(c)];
+            out.latenciesMs.reserve(static_cast<size_t>(perClient));
+            util::Rng rng(cfg.seed + static_cast<uint64_t>(c) * 7919);
+            FleetClient client;
+            if (!client.connectLoopback(port)) {
+                out.failed += static_cast<uint64_t>(perClient);
+                return;
+            }
+            for (int r = 0; r < perClient; ++r) {
+                const SimQuery& q = corpus[sampleRank(cdf, rng.uniform())];
+                NetRequest req;
+                req.program = q.program;
+                req.data = q.data;
+                req.hasData = q.hasData;
+                req.metric = q.metric;
+                req.priority =
+                    cfg.mixedPriorities
+                        ? static_cast<serve::Priority>(
+                              r % serve::kNumPriorities)
+                        : cfg.priority;
+                NetResponse resp;
+                const auto t0 = std::chrono::steady_clock::now();
+                if (!client.call(req, resp)) {
+                    // Transport failure closes the connection; count
+                    // the rest of this client's budget as failed.
+                    out.failed +=
+                        static_cast<uint64_t>(perClient - r);
+                    return;
+                }
+                const auto t1 = std::chrono::steady_clock::now();
+                if (resp.status == Status::Ok) {
+                    ++out.ok;
+                    out.latenciesMs.push_back(
+                        std::chrono::duration<double, std::milli>(t1 -
+                                                                  t0)
+                            .count());
+                } else if (resp.status == Status::Overloaded) {
+                    ++out.overloaded;
+                } else {
+                    ++out.failed;
+                }
+            }
+        });
+    }
+    for (std::thread& t : threads)
+        t.join();
+    const auto end = std::chrono::steady_clock::now();
+
+    SimResult res;
+    std::vector<double> all;
+    for (const ClientOutcome& out : outcomes) {
+        res.ok += out.ok;
+        res.overloaded += out.overloaded;
+        res.failed += out.failed;
+        all.insert(all.end(), out.latenciesMs.begin(),
+                   out.latenciesMs.end());
+    }
+    res.elapsedSec = std::chrono::duration<double>(end - start).count();
+    res.rps = res.elapsedSec <= 0 ? 0 : double(res.ok) / res.elapsedSec;
+    if (!all.empty()) {
+        std::sort(all.begin(), all.end());
+        auto rank = [&](double q) {
+            size_t idx = static_cast<size_t>(
+                std::ceil(q * double(all.size())));
+            return all[std::min(all.size() - 1,
+                                idx == 0 ? 0 : idx - 1)];
+        };
+        res.p50Ms = rank(0.50);
+        res.p99Ms = rank(0.99);
+    }
+    return res;
+}
+
+} // namespace net
+} // namespace llmulator

@@ -7,6 +7,7 @@
 #include "dfir/passes.h"
 #include "obs/trace.h"
 #include "util/common.h"
+#include "util/string_util.h"
 
 namespace llmulator {
 namespace serve {
@@ -29,6 +30,17 @@ normalized(ServeConfig cfg)
     cfg.batchMax = std::max(1, cfg.batchMax);
     cfg.queueCapacity = std::max<size_t>(1, cfg.queueCapacity);
     cfg.cacheShards = std::max<size_t>(1, cfg.cacheShards);
+    // Admission limits: 0 = auto (High: full capacity, Normal: 3/4,
+    // Low: 1/2, each at least one slot); explicit values clamp to the
+    // capacity so config() reports what is actually enforced.
+    const size_t cap = cfg.queueCapacity;
+    const size_t autoDepth[kNumPriorities] = {
+        cap, std::max<size_t>(1, cap * 3 / 4), std::max<size_t>(1, cap / 2)};
+    for (int k = 0; k < kNumPriorities; ++k) {
+        if (cfg.admitDepth[size_t(k)] == 0)
+            cfg.admitDepth[size_t(k)] = autoDepth[k];
+        cfg.admitDepth[size_t(k)] = std::min(cfg.admitDepth[size_t(k)], cap);
+    }
     return cfg;
 }
 
@@ -47,8 +59,12 @@ PredictionServer::PredictionServer(std::unique_ptr<model::CostModel> model,
       forwardMs_(telemetry_.histogram("serve.stage.forward_ms")),
       decodeMs_(telemetry_.histogram("serve.stage.decode_ms")),
       cacheFillMs_(telemetry_.histogram("serve.stage.cache_fill_ms")),
-      swapCount_(telemetry_.counter("calib.swaps"))
+      swapCount_(telemetry_.counter("calib.swaps")),
+      rejectedCount_(telemetry_.counter("serve.rejected"))
 {
+    for (int k = 0; k < kNumPriorities; ++k)
+        shedCount_[size_t(k)] = &telemetry_.counter(
+            util::format("serve.shed_p%d", k));
     LLM_CHECK(model_ != nullptr, "PredictionServer needs a model");
     version_.store(model_->version(), std::memory_order_release);
     if (cfg_.calibration.enabled) {
@@ -70,12 +86,11 @@ PredictionServer::~PredictionServer()
     stop();
 }
 
-std::future<model::NumericPrediction>
-PredictionServer::submitAsync(const dfir::DataflowGraph& g,
-                              const dfir::RuntimeData* data,
-                              model::Metric metric)
+void
+PredictionServer::prepareRequest(Request& req, const dfir::DataflowGraph& g,
+                                 const dfir::RuntimeData* data,
+                                 model::Metric metric)
 {
-    Request req;
     req.id = reqSeq_.fetch_add(1, std::memory_order_relaxed) + 1;
     if (cfg_.canonicalCacheKeys) {
         // Canonical keys: equivalent programs (renamed values, commuted
@@ -99,6 +114,15 @@ PredictionServer::submitAsync(const dfir::DataflowGraph& g,
     req.key.version = version_.load(std::memory_order_acquire);
     req.metric = metric;
     req.submitTime = Clock::now();
+}
+
+std::future<model::NumericPrediction>
+PredictionServer::submitAsync(const dfir::DataflowGraph& g,
+                              const dfir::RuntimeData* data,
+                              model::Metric metric)
+{
+    Request req;
+    prepareRequest(req, g, data, metric);
     auto future = req.promise.get_future();
 
     if (stopped_.load(std::memory_order_acquire)) {
@@ -138,6 +162,62 @@ PredictionServer::predict(const dfir::DataflowGraph& g,
                           const dfir::RuntimeData* data, model::Metric metric)
 {
     return submitAsync(g, data, metric).get();
+}
+
+Admission
+PredictionServer::submitIfAdmitted(const dfir::DataflowGraph& g,
+                                   const dfir::RuntimeData* data,
+                                   model::Metric metric, Priority priority)
+{
+    Admission adm;
+    Request req;
+    prepareRequest(req, g, data, metric);
+
+    if (stopped_.load(std::memory_order_acquire)) {
+        rejectedCount_.add(1);
+        adm.status = AdmitStatus::Rejected;
+        return adm;
+    }
+
+    // Cache hits bypass the queue entirely, so they are admitted even
+    // under full load — answering a repeat costs no model work.
+    model::NumericPrediction cached;
+    if (cache_.get(req.key, cached)) {
+        adm.future = req.promise.get_future();
+        submitted_.fetch_add(1, std::memory_order_relaxed);
+        cacheHits_.fetch_add(1, std::memory_order_relaxed);
+        fulfil(req, cached);
+        adm.status = AdmitStatus::Accepted;
+        return adm;
+    }
+
+    // Shed when the backlog already reached this class's depth limit.
+    // The depth read and the push are not atomic together; the race
+    // only lets an occasional request through one slot early or late,
+    // which is fine for load-shedding.
+    const size_t k = static_cast<size_t>(priority);
+    if (queue_.depth() >= cfg_.admitDepth[k]) {
+        shedCount_[k]->add(1);
+        adm.status = AdmitStatus::Shed;
+        return adm;
+    }
+
+    req.graph = g;
+    if (data) {
+        req.data = *data;
+        req.hasData = true;
+    }
+    adm.future = req.promise.get_future();
+    if (queue_.tryPush(std::move(req), priority)) {
+        submitted_.fetch_add(1, std::memory_order_relaxed);
+        adm.status = AdmitStatus::Accepted;
+    } else {
+        // Lost the race for the last slot (or a concurrent stop()).
+        rejectedCount_.add(1);
+        adm.status = AdmitStatus::Rejected;
+        adm.future = std::future<model::NumericPrediction>();
+    }
+    return adm;
 }
 
 void
@@ -406,6 +486,9 @@ PredictionServer::stats() const
     s.cacheMisses = cacheMisses_.load(std::memory_order_relaxed);
     s.batches = batches_.load(std::memory_order_relaxed);
     s.modelCalls = modelCalls_.load(std::memory_order_relaxed);
+    s.rejected = rejectedCount_.total();
+    for (int k = 0; k < kNumPriorities; ++k)
+        s.shed[size_t(k)] = shedCount_[size_t(k)]->total();
     uint64_t dispatched = dispatched_.load(std::memory_order_relaxed);
     s.meanBatch =
         s.batches == 0 ? 0.0 : double(dispatched) / double(s.batches);

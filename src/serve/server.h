@@ -72,6 +72,7 @@
  * feature.
  */
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -104,8 +105,34 @@ struct ServeConfig
     //! Key the result cache by dfir::canonicalHash (+ scalar-remapped
     //! input hash) so equivalent programs collide; false = raw hashes.
     bool canonicalCacheKeys = true;
+    /**
+     * Per-priority admission depth limits for submitIfAdmitted(): a
+     * request of class k is *shed* (answered OVERLOADED by the fleet
+     * front-end instead of blocking) when the queue already holds at
+     * least admitDepth[k] items. 0 = auto: High gets the full queue
+     * capacity, Normal 3/4 of it, Low 1/2 — so under load the queue's
+     * tail is reserved for high-priority traffic. The blocking
+     * submitAsync()/predict() path ignores these and applies
+     * backpressure instead.
+     */
+    std::array<size_t, kNumPriorities> admitDepth{{0, 0, 0}};
     //! Live calibration pipeline (off by default; see the file header).
     CalibrationConfig calibration;
+};
+
+/** Outcome class of an admission-controlled submit. */
+enum class AdmitStatus
+{
+    Accepted, //!< future is valid (may already be fulfilled via cache)
+    Shed,     //!< queue depth over the priority's admitDepth limit
+    Rejected  //!< queue full at push time, or server stopped
+};
+
+/** submitIfAdmitted() result: a future only when Accepted. */
+struct Admission
+{
+    AdmitStatus status = AdmitStatus::Rejected;
+    std::future<model::NumericPrediction> future;
 };
 
 /** Point-in-time server statistics snapshot. */
@@ -117,6 +144,12 @@ struct ServerStats
     uint64_t cacheMisses = 0;
     uint64_t batches = 0;    //!< micro-batches dispatched
     uint64_t modelCalls = 0; //!< head decodes actually run
+    //! Admission-control refusals (submitIfAdmitted only; the blocking
+    //! submit path never refuses). `rejected` counts queue-full/stopped
+    //! refusals (`serve.rejected`), `shed[k]` counts per-priority
+    //! depth-limit sheds (`serve.shed_p<k>`).
+    uint64_t rejected = 0;
+    std::array<uint64_t, kNumPriorities> shed{{0, 0, 0}};
     //! Queue-dispatched requests per batch (submit-path cache hits
     //! never enter a batch, so they are excluded).
     double meanBatch = 0;
@@ -181,6 +214,21 @@ class PredictionServer
     model::NumericPrediction predict(const dfir::DataflowGraph& g,
                                      const dfir::RuntimeData* data,
                                      model::Metric metric);
+
+    /**
+     * Admission-controlled submit: never blocks on a full queue.
+     * Submit-path cache hits are always Accepted (they bypass the
+     * queue). Otherwise the request is Shed when the queue depth is at
+     * or over cfg.admitDepth[priority], and Rejected when the push
+     * loses the race for the last slot (or the server is stopped).
+     * Refusals are counted in ServerStats and as `serve.rejected` /
+     * `serve.shed_p<k>` registry counters; the caller turns them into
+     * an explicit OVERLOADED reply instead of backpressure.
+     */
+    Admission submitIfAdmitted(const dfir::DataflowGraph& g,
+                               const dfir::RuntimeData* data,
+                               model::Metric metric,
+                               Priority priority = Priority::Normal);
 
     /**
      * Stop intake, answer everything already queued, join the workers.
@@ -250,6 +298,10 @@ class PredictionServer
                       model::InferenceSession& session,
                       const model::CostModel& m);
     void fulfil(Request& req, const model::NumericPrediction& pred);
+    /** Stamp key (canonical or raw), metric, id, submit time. */
+    void prepareRequest(Request& req, const dfir::DataflowGraph& g,
+                        const dfir::RuntimeData* data,
+                        model::Metric metric);
 
     ServeConfig cfg_;
     //! RCU write side: the published snapshot, guarded by modelMu_ (the
@@ -284,6 +336,9 @@ class PredictionServer
     obs::Histogram& decodeMs_;    //!< serve.stage.decode_ms
     obs::Histogram& cacheFillMs_; //!< serve.stage.cache_fill_ms
     obs::Counter& swapCount_;     //!< calib.swaps
+    obs::Counter& rejectedCount_; //!< serve.rejected (queue-full refusals)
+    //! serve.shed_p<k>: per-priority admission sheds.
+    std::array<obs::Counter*, kNumPriorities> shedCount_{};
 
     //! Declared after telemetry_ (holds references into it) so it is
     //! destroyed first; null when calibration is disabled.

@@ -1,0 +1,642 @@
+/**
+ * @file
+ * Networked fleet front-end tests: the length-prefixed binary protocol
+ * (round trips, malformed-payload rejection), the disk-backed
+ * persistent result cache (LRU, atomic save/load, corruption and
+ * stale-version tolerance), and the FleetServer end to end over real
+ * loopback connections — wire predictions bit-identical to the
+ * in-process serving path, canonical-hash shard stability (equivalent
+ * mutants hit the same shard's cache), overload answered with an
+ * explicit OVERLOADED status under 8 client threads without deadlock
+ * (TSan job coverage), and persistent-cache warm restart.
+ *
+ * Like test_serve, every suite runs an *untrained* Tiny model: weight
+ * initialization is seeded, so two separately constructed models have
+ * identical weights and deterministic predictions — all the serving
+ * and transport contracts need.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "dfir/builder.h"
+#include "dfir/passes.h"
+#include "dfir/printer.h"
+#include "net/fleet_client.h"
+#include "net/fleet_server.h"
+#include "net/fleet_sim.h"
+#include "net/persist_cache.h"
+#include "net/protocol.h"
+#include "serve/server.h"
+#include "synth/generators.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+using namespace llmulator;
+using namespace llmulator::dfir;
+
+namespace {
+
+/** A tiny vector-scale kernel parameterized by a bias constant. */
+DataflowGraph
+makeGraph(const std::string& name, long bias)
+{
+    Operator op;
+    op.name = "scale";
+    op.scalarParams = {"N"};
+    op.tensors = {tensor("X", {p("N")}), tensor("Y", {p("N")})};
+    op.body = {forLoop("i", c(0), p("N"),
+                       {assign("Y", {v("i")},
+                               badd(a("X", {v("i")}), c(bias)))})};
+    DataflowGraph g;
+    g.name = name;
+    g.ops = {op};
+    g.calls = {{"scale"}};
+    return g;
+}
+
+RuntimeData
+makeData(long n)
+{
+    RuntimeData d;
+    d.scalars["N"] = n;
+    return d;
+}
+
+model::CostModelConfig
+tinyConfig()
+{
+    auto cfg = model::configForScale(model::ModelScale::Tiny);
+    cfg.enc.maxSeq = 128;
+    return cfg;
+}
+
+/** Fresh deterministic model (seeded init, no training needed). */
+std::unique_ptr<model::CostModel>
+tinyModel()
+{
+    return std::make_unique<model::CostModel>(tinyConfig());
+}
+
+/** Bit-exact prediction comparison (doubles compared as bit patterns). */
+void
+expectBitEqual(const model::NumericPrediction& a,
+               const model::NumericPrediction& b)
+{
+    EXPECT_EQ(a.value, b.value);
+    EXPECT_EQ(a.digits, b.digits);
+    ASSERT_EQ(a.digitProbs.size(), b.digitProbs.size());
+    for (size_t i = 0; i < a.digitProbs.size(); ++i)
+        EXPECT_EQ(0, std::memcmp(&a.digitProbs[i], &b.digitProbs[i],
+                                 sizeof(double)))
+            << "digitProbs[" << i << "] differ bitwise";
+    EXPECT_EQ(0, std::memcmp(&a.logProb, &b.logProb, sizeof(double)));
+}
+
+model::NumericPrediction
+somePrediction(long value)
+{
+    model::NumericPrediction p;
+    p.value = value;
+    p.digits = {int(value % 10), 3, 7};
+    p.digitProbs = {0.5, 0.25, 0.125};
+    p.logProb = -1.25;
+    return p;
+}
+
+serve::ResultKey
+someKey(uint64_t program, uint64_t version = 0)
+{
+    serve::ResultKey k;
+    k.program = program;
+    k.input = program * 31 + 7;
+    k.metric = int(model::Metric::Cycles);
+    k.version = version;
+    return k;
+}
+
+std::string
+tempPath(const char* tag)
+{
+    return util::format("/tmp/llm_net_%s_%ld.bin", tag,
+                        static_cast<long>(::getpid()));
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Protocol
+
+TEST(Protocol, RequestRoundTrip)
+{
+    net::NetRequest req;
+    req.program = dfir::printStatic(makeGraph("rt", 3));
+    req.hasData = true;
+    req.data.scalars["N"] = 64;
+    req.data.scalars["M"] = -9;
+    req.data.tensors["X"] = {1.5, -2.25, 1e300, 0.0};
+    req.metric = model::Metric::Cycles;
+    req.priority = serve::Priority::Low;
+
+    net::NetRequest out;
+    std::string err;
+    ASSERT_TRUE(net::decodeRequest(net::encodeRequest(req), out, &err))
+        << err;
+    EXPECT_EQ(out.program, req.program);
+    EXPECT_TRUE(out.hasData);
+    EXPECT_EQ(out.data.scalars, req.data.scalars);
+    EXPECT_EQ(out.data.tensors, req.data.tensors);
+    EXPECT_EQ(out.metric, req.metric);
+    EXPECT_EQ(out.priority, req.priority);
+}
+
+TEST(Protocol, StaticRequestHasNoDataSection)
+{
+    net::NetRequest req;
+    req.program = "void f() {}";
+    req.metric = model::Metric::Area;
+
+    net::NetRequest out;
+    ASSERT_TRUE(net::decodeRequest(net::encodeRequest(req), out));
+    EXPECT_FALSE(out.hasData);
+    EXPECT_TRUE(out.data.scalars.empty());
+}
+
+TEST(Protocol, ResponseRoundTripIsBitExact)
+{
+    net::NetResponse resp;
+    resp.status = net::Status::Ok;
+    resp.cacheHit = true;
+    resp.modelVersion = 42;
+    resp.prediction = somePrediction(123456);
+    resp.prediction.digitProbs = {0.1, 0.2, 0.30000000000000004};
+    resp.prediction.logProb = -3.141592653589793;
+
+    net::NetResponse out;
+    std::string err;
+    ASSERT_TRUE(net::decodeResponse(net::encodeResponse(resp), out, &err))
+        << err;
+    EXPECT_EQ(out.status, resp.status);
+    EXPECT_TRUE(out.cacheHit);
+    EXPECT_EQ(out.modelVersion, 42u);
+    expectBitEqual(out.prediction, resp.prediction);
+    EXPECT_EQ(out.error, "");
+}
+
+TEST(Protocol, RejectsMalformedPayloads)
+{
+    net::NetRequest req;
+    req.program = "void f() {}";
+    req.hasData = true;
+    req.data.scalars["N"] = 8;
+    req.data.tensors["X"] = {1.0, 2.0};
+    std::string good = net::encodeRequest(req);
+
+    net::NetRequest out;
+    std::string err;
+
+    // Every strict prefix must fail cleanly (no crash, no accept).
+    for (size_t cut = 0; cut < good.size(); ++cut)
+        EXPECT_FALSE(
+            net::decodeRequest(good.substr(0, cut), out, &err))
+            << "accepted a " << cut << "-byte prefix";
+
+    // Wrong magic.
+    std::string bad = good;
+    bad[0] = char(bad[0] ^ 0xff);
+    EXPECT_FALSE(net::decodeRequest(bad, out, &err));
+
+    // Wrong protocol version.
+    bad = good;
+    bad[4] = char(99);
+    EXPECT_FALSE(net::decodeRequest(bad, out, &err));
+
+    // Trailing garbage is rejected too (payload must parse exactly).
+    bad = good + "x";
+    EXPECT_FALSE(net::decodeRequest(bad, out, &err));
+
+    // Hostile tensor element count: huge count, no payload behind it.
+    std::string hostile;
+    net::wire::putU32(hostile, net::kRequestMagic);
+    net::wire::putU16(hostile, net::kProtocolVersion);
+    net::wire::putU8(hostile, 0);  // metric
+    net::wire::putU8(hostile, 0);  // priority
+    net::wire::putU8(hostile, 1);  // hasData
+    net::wire::putString(hostile, "void f() {}");
+    net::wire::putU32(hostile, 0); // scalars
+    net::wire::putU32(hostile, 1); // one tensor...
+    net::wire::putString(hostile, "X");
+    net::wire::putU32(hostile, 0x7fffffff); // ...claiming 2^31 elements
+    EXPECT_FALSE(net::decodeRequest(hostile, out, &err));
+
+    // Response side: truncation prefixes fail as well.
+    net::NetResponse resp;
+    resp.status = net::Status::Ok;
+    resp.prediction = somePrediction(7);
+    std::string goodResp = net::encodeResponse(resp);
+    net::NetResponse rout;
+    for (size_t cut = 0; cut < goodResp.size(); ++cut)
+        EXPECT_FALSE(
+            net::decodeResponse(goodResp.substr(0, cut), rout, &err));
+}
+
+// ---------------------------------------------------------------------------
+// Persistent result cache
+
+TEST(PersistentCache, PutGetAndLruEviction)
+{
+    net::PersistentResultCache cache(3);
+    for (uint64_t i = 0; i < 3; ++i)
+        cache.put(someKey(i), somePrediction(long(i)));
+    EXPECT_EQ(cache.size(), 3u);
+
+    // Touch key 0 so key 1 is the LRU tail, then overflow.
+    model::NumericPrediction out;
+    ASSERT_TRUE(cache.get(someKey(0), out));
+    EXPECT_EQ(out.value, 0);
+    cache.put(someKey(9), somePrediction(9));
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_FALSE(cache.get(someKey(1), out)); // evicted
+    EXPECT_TRUE(cache.get(someKey(0), out));
+    EXPECT_TRUE(cache.get(someKey(9), out));
+}
+
+TEST(PersistentCache, SaveLoadRoundTripIsBitExact)
+{
+    std::string path = tempPath("roundtrip");
+    net::PersistentResultCache cache(16);
+    model::NumericPrediction pred = somePrediction(98765);
+    pred.digitProbs = {0.3333333333333333, 1e-300};
+    pred.logProb = -2.718281828459045;
+    cache.put(someKey(11), pred);
+    cache.put(someKey(22), somePrediction(4));
+    ASSERT_TRUE(cache.save(path));
+
+    net::PersistentResultCache warm(16);
+    auto ls = warm.load(path, /*modelVersion=*/0);
+    EXPECT_TRUE(ls.fileFound);
+    EXPECT_TRUE(ls.clean);
+    EXPECT_EQ(ls.loaded, 2u);
+    EXPECT_EQ(ls.staleSkipped, 0u);
+    model::NumericPrediction out;
+    ASSERT_TRUE(warm.get(someKey(11), out));
+    expectBitEqual(out, pred);
+    std::remove(path.c_str());
+}
+
+TEST(PersistentCache, MissingFileIsACleanColdStart)
+{
+    net::PersistentResultCache cache(4);
+    auto ls = cache.load("/tmp/llm_net_definitely_absent.bin", 0);
+    EXPECT_FALSE(ls.fileFound);
+    EXPECT_TRUE(ls.clean);
+    EXPECT_EQ(ls.loaded, 0u);
+}
+
+TEST(PersistentCache, StaleModelVersionEntriesAreSkipped)
+{
+    std::string path = tempPath("stale");
+    net::PersistentResultCache cache(16);
+    cache.put(someKey(1, /*version=*/0), somePrediction(1));
+    cache.put(someKey(2, /*version=*/5), somePrediction(2));
+    cache.put(someKey(3, /*version=*/5), somePrediction(3));
+    ASSERT_TRUE(cache.save(path));
+
+    net::PersistentResultCache warm(16);
+    auto ls = warm.load(path, /*modelVersion=*/5);
+    EXPECT_TRUE(ls.clean);
+    EXPECT_EQ(ls.loaded, 2u);
+    EXPECT_EQ(ls.staleSkipped, 1u);
+    model::NumericPrediction out;
+    EXPECT_FALSE(warm.get(someKey(1, 0), out));
+    EXPECT_TRUE(warm.get(someKey(2, 5), out));
+    std::remove(path.c_str());
+}
+
+TEST(PersistentCache, TruncatedFileKeepsCleanPrefixWithoutCrashing)
+{
+    std::string path = tempPath("trunc");
+    net::PersistentResultCache cache(16);
+    for (uint64_t i = 0; i < 4; ++i)
+        cache.put(someKey(i), somePrediction(long(i)));
+    ASSERT_TRUE(cache.save(path));
+
+    // Chop the file at several points; every prefix must load without
+    // crashing and never report clean.
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    for (size_t cut : {bytes.size() - 1, bytes.size() / 2, size_t(13)}) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(), static_cast<std::streamsize>(cut));
+        out.close();
+        net::PersistentResultCache warm(16);
+        auto ls = warm.load(path, 0);
+        EXPECT_TRUE(ls.fileFound);
+        EXPECT_FALSE(ls.clean) << "cut=" << cut;
+        EXPECT_LT(ls.loaded, 4u);
+        EXPECT_EQ(warm.size(), ls.loaded);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(PersistentCache, WrongMagicAndFormatVersionLoadNothing)
+{
+    std::string path = tempPath("header");
+
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << "this is not a cache file at all";
+    }
+    net::PersistentResultCache a(4);
+    auto ls = a.load(path, 0);
+    EXPECT_TRUE(ls.fileFound);
+    EXPECT_FALSE(ls.clean);
+    EXPECT_EQ(ls.loaded, 0u);
+
+    // Right magic, future format version.
+    std::string bytes;
+    net::wire::putU32(bytes, net::PersistentResultCache::kMagic);
+    net::wire::putU32(bytes, net::PersistentResultCache::kFormatVersion + 1);
+    net::wire::putU64(bytes, 0);
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    net::PersistentResultCache b(4);
+    ls = b.load(path, 0);
+    EXPECT_FALSE(ls.clean);
+    EXPECT_EQ(ls.loaded, 0u);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// FleetServer end to end (loopback TCP)
+
+TEST(FleetServer, WireRoundTripIsBitIdenticalToInProcessServing)
+{
+    net::FleetConfig cfg;
+    cfg.shards = 2;
+    cfg.serve.workers = 2;
+    net::FleetServer fleet(tinyModel(), cfg);
+    fleet.start();
+    ASSERT_GT(fleet.port(), 0);
+
+    serve::ServeConfig localCfg;
+    localCfg.workers = 2;
+    serve::PredictionServer local(tinyModel(), localCfg);
+
+    net::FleetClient client;
+    ASSERT_TRUE(client.connectLoopback(fleet.port()));
+
+    for (long bias : {3L, 5L, 11L}) {
+        DataflowGraph g = makeGraph(util::format("wire-%ld", bias), bias);
+        RuntimeData d = makeData(32 + bias);
+        for (int m = 0; m < model::kNumMetrics; ++m) {
+            auto metric = static_cast<model::Metric>(m);
+            const dfir::RuntimeData* data =
+                metric == model::Metric::Cycles ? &d : nullptr;
+            net::NetResponse resp;
+            ASSERT_TRUE(client.predict(g, data, metric,
+                                       serve::Priority::Normal, resp));
+            ASSERT_EQ(resp.status, net::Status::Ok) << resp.error;
+            expectBitEqual(resp.prediction, local.predict(g, data, metric));
+        }
+    }
+    net::FleetStats stats = fleet.stats();
+    EXPECT_EQ(stats.ok, 12u);
+    EXPECT_EQ(stats.badRequest, 0u);
+}
+
+TEST(FleetServer, EquivalentMutantsLandOnTheSameShardCache)
+{
+    net::FleetConfig cfg;
+    cfg.shards = 4;
+    cfg.serve.workers = 1;
+    net::FleetServer fleet(tinyModel(), cfg);
+    fleet.start();
+
+    DataflowGraph g = makeGraph("shard-base", 7);
+    RuntimeData d = makeData(12);
+    const uint64_t canon = canonicalHash(g);
+
+    net::FleetClient client;
+    ASSERT_TRUE(client.connectLoopback(fleet.port()));
+    net::NetResponse first;
+    ASSERT_TRUE(client.predict(g, &d, model::Metric::Cycles,
+                               serve::Priority::Normal, first));
+    ASSERT_EQ(first.status, net::Status::Ok) << first.error;
+
+    util::Rng rng(2026);
+    for (int i = 0; i < 3; ++i) {
+        synth::EquivalentMutant mut = synth::equivalentMutant(g, rng);
+        ASSERT_EQ(canonicalHash(mut.graph), canon);
+        EXPECT_EQ(net::FleetServer::shardOf(canonicalHash(mut.graph), 4),
+                  net::FleetServer::shardOf(canon, 4));
+        RuntimeData md = remapRuntimeData(d, mut.scalarRenames);
+        net::NetResponse resp;
+        ASSERT_TRUE(client.predict(mut.graph, &md, model::Metric::Cycles,
+                                   serve::Priority::Normal, resp));
+        ASSERT_EQ(resp.status, net::Status::Ok) << resp.error;
+        expectBitEqual(resp.prediction, first.prediction);
+    }
+
+    // The pin: one model call total — every mutant was answered by the
+    // base program's shard-cache entry, proving canonical-hash sharding
+    // routed them to the same shard.
+    net::FleetStats stats = fleet.stats();
+    EXPECT_EQ(stats.shardModelCalls, 1u);
+    EXPECT_EQ(stats.shardCacheHits, 3u);
+}
+
+TEST(FleetServer, UnparsableProgramAnswersBadRequestAndKeepsConnection)
+{
+    net::FleetConfig cfg;
+    cfg.shards = 1;
+    net::FleetServer fleet(tinyModel(), cfg);
+    fleet.start();
+
+    net::FleetClient client;
+    ASSERT_TRUE(client.connectLoopback(fleet.port()));
+
+    net::NetRequest req;
+    req.program = "this is not a dataflow program";
+    req.metric = model::Metric::Power;
+    net::NetResponse resp;
+    ASSERT_TRUE(client.call(req, resp));
+    EXPECT_EQ(resp.status, net::Status::BadRequest);
+    EXPECT_FALSE(resp.error.empty());
+
+    // The connection survives a BadRequest: a valid query still works.
+    DataflowGraph g = makeGraph("after-bad", 2);
+    ASSERT_TRUE(client.predict(g, nullptr, model::Metric::Power,
+                               serve::Priority::Normal, resp));
+    EXPECT_EQ(resp.status, net::Status::Ok) << resp.error;
+    EXPECT_EQ(fleet.stats().badRequest, 1u);
+}
+
+TEST(FleetServer, OverloadAnswersExplicitlyUnderEightClientThreads)
+{
+    net::FleetConfig cfg;
+    cfg.shards = 1;
+    cfg.serve.workers = 1;
+    cfg.serve.queueCapacity = 2; // auto admit depths: {2, 1, 1}
+    cfg.serve.cacheCapacity = 0; // every accepted request costs work
+    net::FleetServer fleet(tinyModel(), cfg);
+    fleet.start();
+
+    constexpr int kClients = 8;
+    constexpr int kPerClient = 12;
+    std::atomic<uint64_t> ok{0}, overloaded{0}, failed{0};
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int t = 0; t < kClients; ++t) {
+        clients.emplace_back([&, t] {
+            net::FleetClient client;
+            if (!client.connectLoopback(fleet.port())) {
+                failed.fetch_add(kPerClient);
+                return;
+            }
+            DataflowGraph g = makeGraph("overload", 3);
+            for (int i = 0; i < kPerClient; ++i) {
+                // Distinct inputs -> every accepted request is a miss.
+                RuntimeData d = makeData(1000 + t * 100 + i);
+                net::NetResponse resp;
+                if (!client.predict(g, &d, model::Metric::Cycles,
+                                    serve::Priority::Low, resp)) {
+                    failed.fetch_add(1);
+                    continue;
+                }
+                if (resp.status == net::Status::Ok)
+                    ok.fetch_add(1);
+                else if (resp.status == net::Status::Overloaded)
+                    overloaded.fetch_add(1);
+                else
+                    failed.fetch_add(1);
+            }
+        });
+    }
+    for (auto& t : clients)
+        t.join(); // completing at all is the no-deadlock pin
+
+    EXPECT_EQ(ok.load() + overloaded.load() + failed.load(),
+              uint64_t(kClients) * kPerClient);
+    EXPECT_EQ(failed.load(), 0u);
+    EXPECT_GT(ok.load(), 0u);
+    // Eight blocking clients against one worker and a two-slot queue
+    // with a Low admit depth of one must shed.
+    EXPECT_GT(overloaded.load(), 0u);
+
+    net::FleetStats stats = fleet.stats();
+    EXPECT_EQ(stats.overloaded, overloaded.load());
+    EXPECT_EQ(stats.shardRejected +
+                  stats.shardShed[0] + stats.shardShed[1] +
+                  stats.shardShed[2],
+              overloaded.load());
+    EXPECT_EQ(stats.shardShed[0], 0u); // only Low traffic was shed
+    EXPECT_EQ(stats.shardShed[1], 0u);
+}
+
+TEST(FleetServer, PersistentCacheSurvivesRestart)
+{
+    std::string path = tempPath("restart");
+    std::remove(path.c_str());
+
+    DataflowGraph g1 = makeGraph("persist-a", 3);
+    DataflowGraph g2 = makeGraph("persist-b", 9);
+    RuntimeData d = makeData(24);
+    model::NumericPrediction firstPred;
+
+    {
+        net::FleetConfig cfg;
+        cfg.shards = 2;
+        cfg.persistPath = path;
+        net::FleetServer fleet(tinyModel(), cfg);
+        fleet.start();
+        net::FleetClient client;
+        ASSERT_TRUE(client.connectLoopback(fleet.port()));
+        net::NetResponse resp;
+        ASSERT_TRUE(client.predict(g1, &d, model::Metric::Cycles,
+                                   serve::Priority::Normal, resp));
+        ASSERT_EQ(resp.status, net::Status::Ok) << resp.error;
+        EXPECT_FALSE(resp.cacheHit);
+        firstPred = resp.prediction;
+        ASSERT_TRUE(client.predict(g2, nullptr, model::Metric::Area,
+                                   serve::Priority::Normal, resp));
+        ASSERT_EQ(resp.status, net::Status::Ok) << resp.error;
+        fleet.stop(); // snapshots the persistent cache
+    }
+
+    // A brand-new fleet (fresh model clone of the same seeded config)
+    // must answer the replayed queries from the warm persistent cache
+    // without any model work.
+    {
+        net::FleetConfig cfg;
+        cfg.shards = 2;
+        cfg.persistPath = path;
+        net::FleetServer fleet(tinyModel(), cfg);
+        net::FleetStats cold = fleet.stats();
+        EXPECT_EQ(cold.persistLoaded, 2u);
+        EXPECT_EQ(cold.persistStale, 0u);
+        fleet.start();
+        net::FleetClient client;
+        ASSERT_TRUE(client.connectLoopback(fleet.port()));
+        net::NetResponse resp;
+        ASSERT_TRUE(client.predict(g1, &d, model::Metric::Cycles,
+                                   serve::Priority::Normal, resp));
+        ASSERT_EQ(resp.status, net::Status::Ok) << resp.error;
+        EXPECT_TRUE(resp.cacheHit);
+        expectBitEqual(resp.prediction, firstPred);
+        ASSERT_TRUE(client.predict(g2, nullptr, model::Metric::Area,
+                                   serve::Priority::Normal, resp));
+        EXPECT_TRUE(resp.cacheHit);
+        net::FleetStats warm = fleet.stats();
+        EXPECT_EQ(warm.persistHits, 2u);
+        EXPECT_EQ(warm.shardModelCalls, 0u);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(FleetSim, DrivesAFleetWithSkewedPopularity)
+{
+    net::FleetConfig cfg;
+    cfg.shards = 2;
+    cfg.serve.workers = 2;
+    net::FleetServer fleet(tinyModel(), cfg);
+    fleet.start();
+
+    std::vector<net::SimQuery> corpus;
+    for (long i = 0; i < 6; ++i) {
+        DataflowGraph g = makeGraph(util::format("sim-%ld", i), i + 1);
+        RuntimeData d = makeData(16 + i);
+        corpus.push_back(
+            net::makeSimQuery(g, &d, model::Metric::Cycles));
+    }
+
+    net::SimConfig sim;
+    sim.clients = 4;
+    sim.requestsPerClient = 20;
+    sim.zipfSkew = 1.0;
+    sim.mixedPriorities = true;
+    net::SimResult res = net::runFleet(fleet.port(), corpus, sim);
+
+    EXPECT_EQ(res.ok + res.overloaded + res.failed, 80u);
+    EXPECT_EQ(res.failed, 0u);
+    EXPECT_GT(res.ok, 0u);
+    EXPECT_GT(res.rps, 0.0);
+    EXPECT_GE(res.p99Ms, res.p50Ms);
+
+    // Six distinct programs, many repeats: the fleet must answer most
+    // of the traffic from its caches.
+    net::FleetStats stats = fleet.stats();
+    EXPECT_GT(stats.hitRate(), 0.5);
+}

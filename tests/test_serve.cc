@@ -124,6 +124,81 @@ TEST(BoundedQueue, PopBlocksUntilPush)
     producer.join();
 }
 
+TEST(BoundedQueue, TryPushRefusesWhenFullInsteadOfBlocking)
+{
+    serve::BoundedQueue<int> q(2);
+    EXPECT_TRUE(q.tryPush(1));
+    EXPECT_TRUE(q.tryPush(2));
+    EXPECT_EQ(q.depth(), 2u);
+    EXPECT_FALSE(q.tryPush(3)); // full: immediate refusal, no wait
+
+    std::vector<int> batch;
+    ASSERT_TRUE(q.popBatch(batch, 1, std::chrono::microseconds(0)));
+    EXPECT_TRUE(q.tryPush(4)); // slot freed
+    q.close();
+    EXPECT_FALSE(q.tryPush(5)); // closed: refused even with room
+}
+
+TEST(BoundedQueue, DrainsHighBeforeNormalBeforeLowFifoWithinClass)
+{
+    serve::BoundedQueue<int> q(8);
+    EXPECT_TRUE(q.push(10, serve::Priority::Normal));
+    EXPECT_TRUE(q.push(11, serve::Priority::Normal));
+    EXPECT_TRUE(q.push(20, serve::Priority::Low));
+    EXPECT_TRUE(q.push(1, serve::Priority::High));
+    EXPECT_TRUE(q.push(2, serve::Priority::High));
+
+    std::vector<int> batch;
+    ASSERT_TRUE(q.popBatch(batch, 8, std::chrono::microseconds(0)));
+    // High first (FIFO within the class), then Normal, then Low —
+    // regardless of arrival interleaving.
+    EXPECT_EQ(batch, (std::vector<int>{1, 2, 10, 11, 20}));
+}
+
+TEST(BoundedQueue, ShutdownUnblocksWaitersAndDrainsBacklog)
+{
+    serve::BoundedQueue<int> q(2);
+    EXPECT_TRUE(q.push(1));
+    EXPECT_TRUE(q.push(2));
+
+    // Two producers blocked in push() on the full queue, one consumer
+    // blocked in popBatch() with a long timeout on a second queue that
+    // stays empty: close() must wake all three.
+    std::atomic<int> refusedPushes{0};
+    std::thread p1([&] {
+        if (!q.push(3))
+            refusedPushes.fetch_add(1);
+    });
+    std::thread p2([&] {
+        if (!q.push(4))
+            refusedPushes.fetch_add(1);
+    });
+
+    serve::BoundedQueue<int> empty(2);
+    std::atomic<bool> consumerDone{false};
+    std::thread consumer([&] {
+        std::vector<int> batch;
+        EXPECT_FALSE(
+            empty.popBatch(batch, 4, std::chrono::milliseconds(10'000)));
+        consumerDone.store(true);
+    });
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    q.close();
+    empty.close();
+    p1.join();
+    p2.join();
+    consumer.join();
+    EXPECT_EQ(refusedPushes.load(), 2); // blocked pushes return false
+    EXPECT_TRUE(consumerDone.load());
+
+    // The backlog present at close() still drains, then popBatch ends.
+    std::vector<int> batch;
+    ASSERT_TRUE(q.popBatch(batch, 8, std::chrono::microseconds(0)));
+    EXPECT_EQ(batch, (std::vector<int>{1, 2}));
+    EXPECT_FALSE(q.popBatch(batch, 8, std::chrono::microseconds(0)));
+}
+
 TEST(ResultCache, LruEvictsWithinShardAndRefreshesOnGet)
 {
     serve::ResultCache cache(/*capacity=*/2, /*shards=*/1);
@@ -395,6 +470,95 @@ TEST(PredictionServer, SubmitAfterStopFailsFast)
     DataflowGraph g = makeGraph("late", 1);
     auto f = server.submitAsync(g, nullptr, model::Metric::Power);
     EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(PredictionServer, AdmissionRejectsAfterStopWithoutBlocking)
+{
+    serve::PredictionServer server(tinyModel(), {});
+    server.stop();
+    DataflowGraph g = makeGraph("stopped", 1);
+    serve::Admission adm =
+        server.submitIfAdmitted(g, nullptr, model::Metric::Power);
+    EXPECT_EQ(adm.status, serve::AdmitStatus::Rejected);
+    EXPECT_FALSE(adm.future.valid()); // nothing was ever enqueued
+    EXPECT_EQ(server.stats().rejected, 1u);
+}
+
+TEST(PredictionServer, AdmissionShedsAtPerPriorityDepthLimits)
+{
+    serve::ServeConfig cfg;
+    cfg.workers = 1;
+    cfg.queueCapacity = 2; // auto admit depths: High 2, Normal 1, Low 1
+    cfg.cacheCapacity = 0; // every accepted request reaches the model
+    serve::PredictionServer server(tinyModel(), cfg);
+
+    DataflowGraph g = makeGraph("admit", 5);
+    std::vector<std::future<model::NumericPrediction>> accepted;
+    uint64_t shedSeen = 0, rejectedSeen = 0;
+    // A single producer floods distinct inputs at a one-worker server:
+    // canonicalization is microseconds, a forward pass milliseconds, so
+    // the queue saturates long before 200 submissions run out.
+    for (long i = 0; i < 200; ++i) {
+        RuntimeData d = makeData(1000 + i);
+        serve::Admission adm = server.submitIfAdmitted(
+            g, &d, model::Metric::Cycles, serve::Priority::Low);
+        switch (adm.status) {
+        case serve::AdmitStatus::Accepted:
+            accepted.push_back(std::move(adm.future));
+            break;
+        case serve::AdmitStatus::Shed:
+            ++shedSeen;
+            break;
+        case serve::AdmitStatus::Rejected:
+            ++rejectedSeen;
+            break;
+        }
+    }
+    for (auto& f : accepted)
+        EXPECT_GE(f.get().value, 0); // accepted work always completes
+    server.stop();
+
+    EXPECT_GT(shedSeen, 0u); // the flood had to shed Low traffic
+    serve::ServerStats stats = server.stats();
+    EXPECT_EQ(stats.shed[2], shedSeen);
+    EXPECT_EQ(stats.shed[0] + stats.shed[1], 0u); // only Low was sent
+    EXPECT_EQ(stats.rejected, rejectedSeen);
+    EXPECT_EQ(accepted.size() + shedSeen + rejectedSeen, 200u);
+
+    // The counters are real llm_obs rows, not ad-hoc fields.
+    const obs::Counter* rej =
+        server.telemetry().findCounter("serve.rejected");
+    const obs::Counter* shed =
+        server.telemetry().findCounter("serve.shed_p2");
+    ASSERT_NE(rej, nullptr);
+    ASSERT_NE(shed, nullptr);
+    EXPECT_EQ(rej->total(), rejectedSeen);
+    EXPECT_EQ(shed->total(), shedSeen);
+}
+
+TEST(PredictionServer, AdmissionBypassesQueueOnCacheHit)
+{
+    serve::ServeConfig cfg;
+    cfg.workers = 1;
+    cfg.queueCapacity = 2;
+    serve::PredictionServer server(tinyModel(), cfg);
+
+    DataflowGraph g = makeGraph("hot", 2);
+    RuntimeData d = makeData(8);
+    // Warm the cache through the blocking path.
+    auto warm = server.predict(g, &d, model::Metric::Cycles);
+
+    // Repeats are admitted straight from the cache: they never touch
+    // the queue, so no depth limit can shed them.
+    for (int i = 0; i < 5; ++i) {
+        serve::Admission adm = server.submitIfAdmitted(
+            g, &d, model::Metric::Cycles, serve::Priority::Low);
+        ASSERT_EQ(adm.status, serve::AdmitStatus::Accepted);
+        expectSamePrediction(adm.future.get(), warm);
+    }
+    serve::ServerStats stats = server.stats();
+    EXPECT_EQ(stats.modelCalls, 1u);
+    EXPECT_EQ(stats.cacheHits, 5u);
 }
 
 namespace {
