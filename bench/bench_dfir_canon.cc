@@ -4,7 +4,12 @@
  * over the workload corpus, canonical-hash latency, and the serve
  * result-cache hit-rate delta between raw structural keys and canonical
  * keys on a stream of semantically equivalent program mutants
- * (renamed values, commuted operands, injected dead code).
+ * (renamed values, commuted operands, injected dead code, and
+ * proven-legal loop interchanges), plus the schedule-family hit rate
+ * (dfir::scheduleFamilyHash via net::PersistentResultCache::
+ * recordFamily) on the same stream — the family key also collapses the
+ * interchange mutants that exact canonical keys must miss — and the
+ * synthesizer dataset redundancy under both keys (synth::datasetStats).
  *
  * Emits `name,metric,value` CSV lines; `--quick` shrinks the mutant
  * stream and timing repetitions for CI smoke runs.
@@ -15,7 +20,10 @@
 
 #include "bench_common.h"
 #include "dfir/passes.h"
+#include "dfir/schedule.h"
+#include "net/persist_cache.h"
 #include "serve/result_cache.h"
+#include "synth/dataset.h"
 #include "synth/generators.h"
 #include "util/rng.h"
 #include "workloads/workloads.h"
@@ -117,9 +125,13 @@ main(int argc, char** argv)
     // Serve-cache hit rates on the equivalent-mutation stream: every
     // base query followed by semantically identical rewrites. Canonical
     // keys should collapse each family to one entry; raw keys miss on
-    // every rename.
+    // every rename. Legal-interchange mutants are part of the stream
+    // too: exact canonical keys miss them by design (the schedule moved,
+    // so cycles moved), which is exactly the gap the family rows below
+    // measure.
     std::vector<Query> stream;
     util::Rng rng(20260809);
+    size_t interchanges = 0;
     for (const auto& w : corpus) {
         stream.push_back({w.graph, w.canonicalData});
         for (int m = 0; m < mutants_per_base; ++m) {
@@ -134,14 +146,58 @@ main(int argc, char** argv)
                 {std::move(mut.graph),
                  dfir::remapRuntimeData(w.canonicalData, fwd)});
         }
+        for (int m = 0; m < mutants_per_base; ++m) {
+            synth::ScheduleMutant mut = synth::scheduleMutant(w.graph, rng);
+            if (!mut.changed)
+                break; // no legal interchange in this workload
+            interchanges += static_cast<size_t>(mut.interchanges);
+            // No renames: the base's runtime data is valid as-is.
+            stream.push_back({std::move(mut.graph), w.canonicalData});
+        }
     }
 
     double hit_raw = replayHitRate(stream, false);
     double hit_canon = replayHitRate(stream, true);
     bench::csv("bench_dfir_canon", "stream_queries",
                double(stream.size()));
+    bench::csv("bench_dfir_canon", "stream_interchanges",
+               double(interchanges));
     bench::csv("bench_dfir_canon", "hit_rate_raw", hit_raw);
     bench::csv("bench_dfir_canon", "hit_rate_canonical", hit_canon);
     bench::csv("bench_dfir_canon", "hit_rate_delta", hit_canon - hit_raw);
+
+    // Family hit rate on the same stream, recorded the way the fleet
+    // front-end would: PersistentResultCache::recordFamily alongside
+    // each probe. Families are statistics only — the exact ResultKey
+    // path above is untouched — but on this stream the family key also
+    // collapses the interchange mutants, so hit_rate_family >=
+    // hit_rate_canonical.
+    {
+        net::PersistentResultCache cache(4096);
+        for (const auto& q : stream)
+            cache.recordFamily(dfir::scheduleFamilyHash(q.graph));
+        net::PersistentResultCache::FamilyStats fs = cache.familyStats();
+        bench::csv("bench_dfir_canon", "hit_rate_family",
+                   fs.probes ? double(fs.hits) / double(fs.probes) : 0.0);
+        bench::csv("bench_dfir_canon", "family_distinct",
+                   double(fs.distinct));
+        bench::csv("bench_dfir_canon", "hit_rate_family_delta",
+                   (fs.probes ? double(fs.hits) / double(fs.probes) : 0.0) -
+                       hit_canon);
+    }
+
+    // Synthesizer dataset redundancy under exact vs family keys.
+    {
+        synth::SynthConfig cfg;
+        cfg.numPrograms = quick ? 12 : 48;
+        cfg.inputVariants = false; // program structure is what matters
+        synth::DatasetStats ds = synth::datasetStats(synth::synthesize(cfg));
+        bench::csv("bench_dfir_canon", "dataset_samples",
+                   double(ds.samples));
+        bench::csv("bench_dfir_canon", "dataset_distinct_canonical",
+                   double(ds.distinctCanonical));
+        bench::csv("bench_dfir_canon", "dataset_distinct_families",
+                   double(ds.distinctFamilies));
+    }
     return 0;
 }

@@ -10,6 +10,9 @@
  *   echo "..." | ./profile_cli -        # read from stdin
  *   ./profile_cli --trace out.json ...  # export trace spans
  *                                       # (chrome://tracing JSON)
+ *   ./profile_cli --schedule ...        # dependence-analysis report
+ *                                       # (nests, legal interchanges,
+ *                                       # canonical vs family hash)
  *
  * Scalar runtime inputs can be appended to the program text as
  * "name = value" lines.
@@ -23,6 +26,7 @@
 
 #include "dfir/analysis.h"
 #include "dfir/parser.h"
+#include "dfir/schedule.h"
 #include "eval/metrics.h"
 #include "harness/harness.h"
 #include "obs/trace.h"
@@ -56,11 +60,14 @@ main(int argc, char** argv)
 {
     std::setvbuf(stdout, nullptr, _IOLBF, 0);
     bool predict = false;
+    bool schedule = false;
     std::string path;
     std::string tracePath;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--predict") == 0) {
             predict = true;
+        } else if (std::strcmp(argv[i], "--schedule") == 0) {
+            schedule = true;
         } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
             tracePath = argv[++i];
         } else {
@@ -130,6 +137,14 @@ main(int argc, char** argv)
                        dfir::ControlFlowClass::ClassI;
         std::printf("  %-16s control flow: Class %s\n", op.name.c_str(),
                     class_i ? "I (static)" : "II (input-dependent)");
+    }
+
+    // --schedule: static dependence-analysis diagnostic (nest shapes,
+    // affinity, legal interchange pairs, reductions) plus the exact
+    // cache key next to the analysis-only schedule-family key.
+    if (schedule) {
+        std::printf("\nschedule analysis:\n%s",
+                    dfir::scheduleReport(res.graph).str().c_str());
     }
 
     sim::Profile prof = sim::profile(res.graph, res.data);

@@ -1,0 +1,1327 @@
+#include "dfir/schedule.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <numeric>
+#include <set>
+#include <utility>
+
+#include "dfir/passes.h"
+#include "dfir/printer.h"
+#include "util/string_util.h"
+
+namespace llmulator {
+namespace dfir {
+
+namespace {
+
+using util::fnv1a;
+using util::hashCombine;
+
+/**
+ * Direction-set enumeration is 3^depth per access pair; beyond this
+ * band depth the nest is flagged conservative instead (no real
+ * workload comes close — the deepest corpus nest is depth 4).
+ */
+constexpr int kMaxBandDepth = 8;
+
+bool
+commutative(BinOp op)
+{
+    switch (op) {
+    case BinOp::Add:
+    case BinOp::Mul:
+    case BinOp::Min:
+    case BinOp::Max:
+    case BinOp::And:
+    case BinOp::Or:
+    case BinOp::Eq:
+    case BinOp::Ne:
+        return true;
+    default:
+        return false;
+    }
+}
+
+/** Any LoopVar/Param leaf whose name is in 'names'? */
+bool
+containsName(const ExprPtr& e, const std::set<std::string>& names)
+{
+    if (!e)
+        return false;
+    if ((e->kind == ExprKind::LoopVar || e->kind == ExprKind::Param) &&
+        names.count(e->name))
+        return true;
+    for (const ExprPtr& a : e->args)
+        if (containsName(a, names))
+            return true;
+    return false;
+}
+
+/** Any ArrayRef whose base name is in 'names'? */
+bool
+containsArrayRefOf(const ExprPtr& e, const std::set<std::string>& names)
+{
+    if (!e)
+        return false;
+    if (e->kind == ExprKind::ArrayRef && names.count(e->name))
+        return true;
+    for (const ExprPtr& a : e->args)
+        if (containsArrayRefOf(a, names))
+            return true;
+    return false;
+}
+
+/**
+ * True when the subtree is provably loop-invariant: no array reads and
+ * every name is a declared invariant (scalar parameter). Scalar temps
+ * are NOT invariant — they may be assigned inside the nest.
+ */
+bool
+invariantExpr(const ExprPtr& e, const std::set<std::string>& invariant)
+{
+    if (!e)
+        return false;
+    switch (e->kind) {
+    case ExprKind::Const:
+        return true;
+    case ExprKind::LoopVar:
+    case ExprKind::Param:
+        return invariant.count(e->name) != 0;
+    case ExprKind::ArrayRef:
+        return false;
+    case ExprKind::Binary:
+        for (const ExprPtr& a : e->args)
+            if (!invariantExpr(a, invariant))
+                return false;
+        return true;
+    }
+    return false;
+}
+
+/**
+ * A subscript linearized over the band variables:
+ *   sum(coeff[v] * v) + c0 + symbolic
+ * 'sym' is an order-insensitive signature of the symbolic (invariant,
+ * non-constant) part; two forms are comparable only when their
+ * symbolic signatures match. affine=false means the linearizer gave up.
+ */
+struct LinForm
+{
+    bool affine = true;
+    std::map<std::string, long> coeff; //!< nonzero entries only
+    long c0 = 0;
+    uint64_t sym = 0;
+    bool hasSym = false;
+
+    bool pureConst() const { return affine && coeff.empty() && !hasSym; }
+};
+
+LinForm
+nonAffineForm()
+{
+    LinForm f;
+    f.affine = false;
+    return f;
+}
+
+LinForm
+scaleForm(LinForm f, long k)
+{
+    if (!f.affine)
+        return f;
+    if (k == 0)
+        return LinForm{};
+    for (auto& kv : f.coeff)
+        kv.second *= k;
+    f.c0 *= k;
+    f.sym *= static_cast<uint64_t>(k);
+    return f;
+}
+
+LinForm
+linearize(const ExprPtr& e, const std::set<std::string>& band,
+          const std::set<std::string>& invariant)
+{
+    if (!e)
+        return nonAffineForm();
+    if (!containsName(e, band)) {
+        // Whole subtree is band-free: a constant or a symbolic
+        // invariant atom (keyed by its rendering), else non-affine.
+        LinForm f;
+        if (e->kind == ExprKind::Const) {
+            f.c0 = e->constVal;
+            return f;
+        }
+        if (invariantExpr(e, invariant)) {
+            f.hasSym = true;
+            f.sym = fnv1a(printExpr(e));
+            return f;
+        }
+        return nonAffineForm();
+    }
+    switch (e->kind) {
+    case ExprKind::LoopVar:
+    case ExprKind::Param: {
+        LinForm f; // leaf containing a band var IS a band var
+        f.coeff[e->name] = 1;
+        return f;
+    }
+    case ExprKind::Binary: {
+        if (e->args.size() != 2)
+            return nonAffineForm();
+        if (e->op == BinOp::Add || e->op == BinOp::Sub) {
+            LinForm a = linearize(e->args[0], band, invariant);
+            LinForm b = linearize(e->args[1], band, invariant);
+            if (!a.affine || !b.affine)
+                return nonAffineForm();
+            bool add = e->op == BinOp::Add;
+            LinForm f;
+            f.coeff = a.coeff;
+            for (const auto& kv : b.coeff)
+                f.coeff[kv.first] += add ? kv.second : -kv.second;
+            for (auto it = f.coeff.begin(); it != f.coeff.end();)
+                it = it->second == 0 ? f.coeff.erase(it) : std::next(it);
+            f.c0 = add ? a.c0 + b.c0 : a.c0 - b.c0;
+            f.hasSym = a.hasSym || b.hasSym;
+            f.sym = add ? a.sym + b.sym : a.sym - b.sym;
+            return f;
+        }
+        if (e->op == BinOp::Mul) {
+            LinForm a = linearize(e->args[0], band, invariant);
+            LinForm b = linearize(e->args[1], band, invariant);
+            if (a.pureConst())
+                return scaleForm(b, a.c0);
+            if (b.pureConst())
+                return scaleForm(a, b.c0);
+            return nonAffineForm();
+        }
+        return nonAffineForm();
+    }
+    default: // ArrayRef over a band var, or unreachable Const
+        return nonAffineForm();
+    }
+}
+
+/** One array (or written-scalar) reference inside a nest body. */
+struct Access
+{
+    std::string name;
+    bool write = false;
+    bool scalar = false; //!< 0-dim: a scalar temp touched in the nest
+    bool affine = true;  //!< all subscripts linearized
+    std::vector<LinForm> subs;
+    std::vector<ExprPtr> subExprs; //!< raw subscripts (for var presence)
+};
+
+/**
+ * Collect every access in a statement list (recursing through ifs and
+ * deeper loops). Scalar assignments become 0-dim writes; names read
+ * somewhere in the nest that match a scalar written in the nest become
+ * 0-dim reads (0-dim accesses constrain nothing per-dimension, so the
+ * pair tests fall back to all-directions — maximally conservative).
+ */
+struct Collector
+{
+    const std::set<std::string>& band;
+    const std::set<std::string>& invariant;
+    std::vector<Access> accesses;
+    std::set<std::string> scalarWrites;
+    std::set<std::string> nameReads;
+
+    Collector(const std::set<std::string>& b, const std::set<std::string>& inv)
+        : band(b), invariant(inv)
+    {
+    }
+
+    void addArray(const std::string& name, const std::vector<ExprPtr>& idx,
+                  bool write)
+    {
+        Access a;
+        a.name = name;
+        a.write = write;
+        for (const ExprPtr& i : idx) {
+            LinForm f = linearize(i, band, invariant);
+            if (!f.affine)
+                a.affine = false;
+            a.subs.push_back(std::move(f));
+            a.subExprs.push_back(i);
+        }
+        accesses.push_back(std::move(a));
+    }
+
+    void expr(const ExprPtr& e)
+    {
+        if (!e)
+            return;
+        switch (e->kind) {
+        case ExprKind::ArrayRef:
+            addArray(e->name, e->args, false);
+            for (const ExprPtr& i : e->args)
+                expr(i); // nested array reads inside subscripts
+            break;
+        case ExprKind::LoopVar:
+        case ExprKind::Param:
+            nameReads.insert(e->name);
+            break;
+        case ExprKind::Binary:
+            for (const ExprPtr& a : e->args)
+                expr(a);
+            break;
+        case ExprKind::Const:
+            break;
+        }
+    }
+
+    void stmts(const std::vector<StmtPtr>& body)
+    {
+        for (const StmtPtr& s : body)
+            stmt(s);
+    }
+
+    void stmt(const StmtPtr& s)
+    {
+        if (!s)
+            return;
+        switch (s->kind) {
+        case StmtKind::Assign:
+            if (s->targetIdx.empty()) {
+                Access a;
+                a.name = s->target;
+                a.write = true;
+                a.scalar = true;
+                accesses.push_back(std::move(a));
+                scalarWrites.insert(s->target);
+            } else {
+                addArray(s->target, s->targetIdx, true);
+                for (const ExprPtr& i : s->targetIdx)
+                    expr(i);
+            }
+            expr(s->rhs);
+            break;
+        case StmtKind::If:
+            expr(s->cond);
+            stmts(s->thenBody);
+            stmts(s->elseBody);
+            break;
+        case StmtKind::For:
+            expr(s->loop.lower);
+            expr(s->loop.upper);
+            stmts(s->body);
+            break;
+        }
+    }
+
+    void finish()
+    {
+        // Reads of nest-written scalars become 0-dim read accesses.
+        for (const std::string& n : scalarWrites) {
+            if (!nameReads.count(n))
+                continue;
+            Access a;
+            a.name = n;
+            a.scalar = true;
+            accesses.push_back(std::move(a));
+        }
+    }
+};
+
+std::vector<Access>
+collectAccesses(const std::vector<StmtPtr>& inner_body,
+                const std::set<std::string>& band,
+                const std::set<std::string>& invariant)
+{
+    Collector c(band, invariant);
+    c.stmts(inner_body);
+    c.finish();
+    return std::move(c.accesses);
+}
+
+/** Direction bitmasks for the per-level sets. */
+constexpr uint8_t kLt = 1;
+constexpr uint8_t kEq = 2;
+constexpr uint8_t kGt = 4;
+constexpr uint8_t kAny = kLt | kEq | kGt;
+
+int
+bandLevel(const std::vector<std::string>& band, const std::string& var)
+{
+    for (size_t i = 0; i < band.size(); ++i)
+        if (band[i] == var)
+            return static_cast<int>(i);
+    return -1;
+}
+
+/**
+ * Per-dimension subscript tests for one access pair. Returns false when
+ * the pair is provably independent; otherwise fills one direction set
+ * per band level (intersection over dimensions). Orientation: Lt means
+ * the 'b' iteration is strictly later in that loop than the 'a' one.
+ */
+bool
+pairSets(const Access& a, const Access& b,
+         const std::vector<std::string>& band, std::vector<uint8_t>* out)
+{
+    out->assign(band.size(), kAny);
+    if (!a.affine || !b.affine)
+        return true; // conservative: all directions possible
+    if (a.subs.size() != b.subs.size())
+        return true;
+    for (size_t d = 0; d < a.subs.size(); ++d) {
+        const LinForm& f = a.subs[d];
+        const LinForm& g = b.subs[d];
+        bool symEq = f.hasSym == g.hasSym && f.sym == g.sym;
+        long diff = f.c0 - g.c0;
+        if (f.coeff == g.coeff) {
+            if (!symEq)
+                continue; // incomparable symbolic offsets: no info
+            if (f.coeff.empty()) {
+                if (diff != 0)
+                    return false; // constant subscripts never meet
+                continue;
+            }
+            if (f.coeff.size() == 1) {
+                long c = f.coeff.begin()->second;
+                if (diff % c != 0)
+                    return false; // exact test: no integer solution
+                long delta = diff / c; // v' - v at the sink
+                uint8_t m = delta > 0 ? kLt : (delta == 0 ? kEq : kGt);
+                int lvl = bandLevel(band, f.coeff.begin()->first);
+                if (lvl < 0)
+                    continue;
+                (*out)[static_cast<size_t>(lvl)] &= m;
+                if ((*out)[static_cast<size_t>(lvl)] == 0)
+                    return false; // contradictory per-dim constraints
+                continue;
+            }
+            long g2 = 0; // multi-var: GCD divisibility only
+            for (const auto& kv : f.coeff)
+                g2 = std::gcd(g2, std::labs(kv.second));
+            if (g2 != 0 && diff % g2 != 0)
+                return false;
+            continue;
+        }
+        if (!symEq)
+            continue;
+        long g2 = 0; // mismatched coefficient patterns: full GCD test
+        for (const auto& kv : f.coeff)
+            g2 = std::gcd(g2, std::labs(kv.second));
+        for (const auto& kv : g.coeff)
+            g2 = std::gcd(g2, std::labs(kv.second));
+        if (g2 != 0 && diff % g2 != 0)
+            return false;
+    }
+    return true;
+}
+
+using DirVecSet = std::set<std::pair<std::string, std::vector<Dir>>>;
+
+/**
+ * Expand per-level direction sets into concrete vectors, dropping the
+ * loop-independent all-Eq vector and folding each lexicographically
+ * negative vector onto its positive mirror (the pair is unordered, so
+ * both orientations describe the same dependence).
+ */
+void
+emitVectors(const std::vector<uint8_t>& sets, const std::string& tensor,
+            DirVecSet* out)
+{
+    std::vector<Dir> cur(sets.size(), Dir::Eq);
+    struct Rec
+    {
+        const std::vector<uint8_t>& sets;
+        const std::string& tensor;
+        DirVecSet* out;
+        std::vector<Dir>& cur;
+
+        void at(size_t level)
+        {
+            if (level == sets.size()) {
+                bool allEq = true;
+                for (Dir d : cur)
+                    if (d != Dir::Eq) {
+                        allEq = false;
+                        break;
+                    }
+                if (allEq)
+                    return;
+                std::vector<Dir> v = cur;
+                for (Dir& d : v) {
+                    if (d == Dir::Eq)
+                        continue;
+                    if (d == Dir::Gt) // lex-negative: mirror it
+                        for (Dir& x : v)
+                            x = x == Dir::Lt
+                                    ? Dir::Gt
+                                    : (x == Dir::Gt ? Dir::Lt : Dir::Eq);
+                    break;
+                }
+                out->insert({tensor, std::move(v)});
+                return;
+            }
+            uint8_t m = sets[level];
+            if (m & kLt) {
+                cur[level] = Dir::Lt;
+                at(level + 1);
+            }
+            if (m & kEq) {
+                cur[level] = Dir::Eq;
+                at(level + 1);
+            }
+            if (m & kGt) {
+                cur[level] = Dir::Gt;
+                at(level + 1);
+            }
+            cur[level] = Dir::Eq;
+        }
+    };
+    Rec r{sets, tensor, out, cur};
+    r.at(0);
+}
+
+bool
+printEq(const ExprPtr& a, const ExprPtr& b)
+{
+    return printExpr(a) == printExpr(b);
+}
+
+/**
+ * Detect T[idx] = T[idx] op ... accumulators (op commutative arithmetic:
+ * +, *, min, max). freeLevels are the band levels absent from the
+ * accumulator's subscripts — the dimensions being reduced over.
+ */
+void
+findReductions(const std::vector<StmtPtr>& body,
+               const std::vector<std::string>& band,
+               const std::set<std::string>& band_set,
+               const std::set<std::string>& invariant, NestInfo* n)
+{
+    for (const StmtPtr& s : body) {
+        if (!s)
+            continue;
+        if (s->kind == StmtKind::If) {
+            findReductions(s->thenBody, band, band_set, invariant, n);
+            findReductions(s->elseBody, band, band_set, invariant, n);
+            continue;
+        }
+        if (s->kind == StmtKind::For) {
+            findReductions(s->body, band, band_set, invariant, n);
+            continue;
+        }
+        const ExprPtr& rhs = s->rhs;
+        if (!rhs || rhs->kind != ExprKind::Binary || rhs->args.size() != 2)
+            continue;
+        if (rhs->op != BinOp::Add && rhs->op != BinOp::Mul &&
+            rhs->op != BinOp::Min && rhs->op != BinOp::Max)
+            continue;
+        bool matches = false;
+        for (const ExprPtr& arg : rhs->args) {
+            if (!arg)
+                continue;
+            if (s->targetIdx.empty()) {
+                if ((arg->kind == ExprKind::LoopVar ||
+                     arg->kind == ExprKind::Param) &&
+                    arg->name == s->target)
+                    matches = true;
+            } else if (arg->kind == ExprKind::ArrayRef &&
+                       arg->name == s->target &&
+                       arg->args.size() == s->targetIdx.size()) {
+                bool same = true;
+                for (size_t i = 0; i < arg->args.size(); ++i)
+                    if (!printEq(arg->args[i], s->targetIdx[i])) {
+                        same = false;
+                        break;
+                    }
+                if (same)
+                    matches = true;
+            }
+        }
+        if (!matches)
+            continue;
+        Reduction r;
+        r.target = s->target;
+        bool conservativeFree = s->targetIdx.empty();
+        std::vector<LinForm> subs;
+        for (const ExprPtr& idx : s->targetIdx) {
+            LinForm f = linearize(idx, band_set, invariant);
+            if (!f.affine)
+                conservativeFree = true;
+            subs.push_back(std::move(f));
+        }
+        for (size_t l = 0; l < band.size(); ++l) {
+            bool used = false;
+            if (!conservativeFree)
+                for (const LinForm& f : subs)
+                    if (f.coeff.count(band[l])) {
+                        used = true;
+                        break;
+                    }
+            if (!used)
+                r.freeLevels.push_back(static_cast<int>(l));
+        }
+        n->reductions.push_back(std::move(r));
+    }
+}
+
+bool
+containsFor(const std::vector<StmtPtr>& body)
+{
+    for (const StmtPtr& s : body) {
+        if (!s)
+            continue;
+        if (s->kind == StmtKind::For)
+            return true;
+        if (s->kind == StmtKind::If &&
+            (containsFor(s->thenBody) || containsFor(s->elseBody)))
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+NestInfo
+analyzeNest(const StmtPtr& for_stmt, const std::set<std::string>& invariant)
+{
+    NestInfo n;
+    if (!for_stmt || for_stmt->kind != StmtKind::For)
+        return n;
+
+    // Maximal perfect band: follow single-For bodies down.
+    const Stmt* cur = for_stmt.get();
+    n.loops.push_back(cur->loop);
+    while (cur->body.size() == 1 && cur->body[0]->kind == StmtKind::For) {
+        cur = cur->body[0].get();
+        n.loops.push_back(cur->loop);
+    }
+    const std::vector<StmtPtr>& inner = cur->body;
+
+    n.perfect = !containsFor(inner);
+    if (!n.perfect)
+        n.notes.push_back("imperfect nest: statements below the perfect "
+                          "band analyzed conservatively");
+
+    std::vector<std::string> band;
+    std::set<std::string> bandSet;
+    for (const Loop& l : n.loops) {
+        band.push_back(l.var);
+        bandSet.insert(l.var);
+    }
+
+    std::vector<Access> accesses = collectAccesses(inner, bandSet, invariant);
+
+    // Footprints + affinity counts and notes.
+    std::map<std::string, Footprint> fp;
+    std::set<std::string> written;
+    std::set<std::string> notedNonAffine;
+    for (const Access& a : accesses) {
+        Footprint& f = fp[a.name];
+        f.tensor = a.name;
+        if (a.write) {
+            ++f.writes;
+            written.insert(a.name);
+        } else {
+            ++f.reads;
+        }
+        if (a.scalar)
+            continue; // 0-dim accesses have no subscripts to classify
+        if (a.affine) {
+            ++n.affineAccesses;
+        } else {
+            ++n.nonAffineAccesses;
+            ++f.nonAffineRefs;
+            if (notedNonAffine.insert(a.name).second)
+                n.notes.push_back("non-affine subscript on '" + a.name +
+                                  "': analyzed conservatively");
+            if (a.write)
+                n.conservative = true;
+        }
+    }
+    for (auto& kv : fp)
+        n.footprints.push_back(kv.second);
+
+    // A band bound reading a tensor written in the nest makes trip
+    // counts data-dependent; give up on precision.
+    for (const Loop& l : n.loops)
+        if (containsArrayRefOf(l.lower, written) ||
+            containsArrayRefOf(l.upper, written)) {
+            n.conservative = true;
+            n.notes.push_back("band bound reads a nest-written tensor");
+            break;
+        }
+
+    if (n.depth() > kMaxBandDepth) {
+        n.conservative = true;
+        n.notes.push_back("band deeper than the analysis limit");
+    } else {
+        DirVecSet vecs;
+        for (size_t i = 0; i < accesses.size(); ++i)
+            for (size_t j = i; j < accesses.size(); ++j) {
+                const Access& a = accesses[i];
+                const Access& b = accesses[j];
+                if (a.name != b.name || (!a.write && !b.write))
+                    continue;
+                std::vector<uint8_t> sets;
+                if (!pairSets(a, b, band, &sets))
+                    continue; // provably independent
+                emitVectors(sets, a.name, &vecs);
+            }
+        for (const auto& v : vecs)
+            n.deps.push_back(DirectionVector{v.first, v.second});
+    }
+
+    findReductions(inner, band, bandSet, invariant, &n);
+    return n;
+}
+
+std::vector<NestInfo>
+analyzeOperator(const Operator& op)
+{
+    std::set<std::string> invariant(op.scalarParams.begin(),
+                                    op.scalarParams.end());
+    std::vector<NestInfo> out;
+    for (const StmtPtr& s : op.body)
+        if (s && s->kind == StmtKind::For)
+            out.push_back(analyzeNest(s, invariant));
+    return out;
+}
+
+bool
+interchangeLegal(const NestInfo& nest, int i, int j)
+{
+    int d = nest.depth();
+    if (i < 0 || j < 0 || i >= d || j >= d || i == j)
+        return false;
+    if (nest.conservative)
+        return false;
+
+    // Triangular-style nests: a band bound referencing a band variable
+    // would need bound rewriting, not a plain header swap.
+    std::set<std::string> band;
+    for (const Loop& l : nest.loops)
+        band.insert(l.var);
+    for (const Loop& l : nest.loops)
+        if (containsName(l.lower, band) || containsName(l.upper, band))
+            return false;
+
+    for (const DirectionVector& dv : nest.deps) {
+        if (dv.dirs.size() != static_cast<size_t>(d))
+            return false; // malformed: refuse rather than guess
+        std::vector<Dir> v = dv.dirs;
+        std::swap(v[static_cast<size_t>(i)], v[static_cast<size_t>(j)]);
+        for (Dir x : v) {
+            if (x == Dir::Lt)
+                break; // still lexicographically positive
+            if (x == Dir::Gt)
+                return false; // dependence would flip
+        }
+    }
+
+    // FP accumulation order: swapping two reduced-over dimensions
+    // reorders the per-cell sum; canonicalization must not move bits.
+    for (const Reduction& r : nest.reductions) {
+        bool fi = std::find(r.freeLevels.begin(), r.freeLevels.end(), i) !=
+                  r.freeLevels.end();
+        bool fj = std::find(r.freeLevels.begin(), r.freeLevels.end(), j) !=
+                  r.freeLevels.end();
+        if (fi && fj)
+            return false;
+    }
+    return true;
+}
+
+bool
+interchangeLegal(const Operator& op, int nest_index, int i, int j)
+{
+    std::vector<NestInfo> nests = analyzeOperator(op);
+    if (nest_index < 0 || nest_index >= static_cast<int>(nests.size()))
+        return false;
+    return interchangeLegal(nests[static_cast<size_t>(nest_index)], i, j);
+}
+
+AccessClass
+classifySubscript(const ExprPtr& idx, const std::vector<std::string>& loop_vars,
+                  const std::set<std::string>& invariant)
+{
+    std::set<std::string> band(loop_vars.begin(), loop_vars.end());
+    return linearize(idx, band, invariant).affine ? AccessClass::Affine
+                                                  : AccessClass::NonAffine;
+}
+
+// ---------------------------------------------------------------------------
+// Schedule-family canonical form
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/**
+ * Structural hash that is blind to tensor names and commutative operand
+ * order (child hashes sorted at commutative nodes). Loop-variable and
+ * scalar names are kept — by the time the family pipeline uses this
+ * they are canonical. Drives both tensor first-use order and the final
+ * symmetric-operand tie-break, so both are independent of the original
+ * tensor names.
+ */
+uint64_t
+blindHash(const ExprPtr& e)
+{
+    if (!e)
+        return 0;
+    uint64_t h = fnv1a("blind");
+    h = hashCombine(h, static_cast<uint64_t>(e->kind));
+    h = hashCombine(h, static_cast<uint64_t>(e->constVal));
+    if (e->kind != ExprKind::ArrayRef)
+        h = hashCombine(h, fnv1a(e->name));
+    if (e->kind == ExprKind::Binary)
+        h = hashCombine(h, static_cast<uint64_t>(e->op));
+    std::vector<uint64_t> ch;
+    ch.reserve(e->args.size());
+    for (const ExprPtr& a : e->args)
+        ch.push_back(blindHash(a));
+    if (e->kind == ExprKind::Binary && commutative(e->op) && ch.size() == 2)
+        std::sort(ch.begin(), ch.end());
+    for (uint64_t c : ch)
+        h = hashCombine(h, c);
+    return h;
+}
+
+/**
+ * Tensor first-use positions under a traversal whose child order at
+ * commutative nodes follows blindHash (ties keep source order): the
+ * resulting positions do not depend on the tensors' own names.
+ */
+struct FirstUse
+{
+    std::map<std::string, int> pos;
+
+    void touch(const std::string& n)
+    {
+        if (!pos.count(n)) {
+            int k = static_cast<int>(pos.size());
+            pos[n] = k;
+        }
+    }
+
+    void expr(const ExprPtr& e)
+    {
+        if (!e)
+            return;
+        if (e->kind == ExprKind::ArrayRef)
+            touch(e->name);
+        if (e->kind == ExprKind::Binary && commutative(e->op) &&
+            e->args.size() == 2 && blindHash(e->args[1]) < blindHash(e->args[0])) {
+            expr(e->args[1]);
+            expr(e->args[0]);
+            return;
+        }
+        for (const ExprPtr& a : e->args)
+            expr(a);
+    }
+
+    void stmts(const std::vector<StmtPtr>& body)
+    {
+        for (const StmtPtr& s : body)
+            stmt(s);
+    }
+
+    void stmt(const StmtPtr& s)
+    {
+        if (!s)
+            return;
+        switch (s->kind) {
+        case StmtKind::Assign:
+            if (!s->targetIdx.empty())
+                touch(s->target);
+            for (const ExprPtr& i : s->targetIdx)
+                expr(i);
+            expr(s->rhs);
+            break;
+        case StmtKind::If:
+            expr(s->cond);
+            stmts(s->thenBody);
+            stmts(s->elseBody);
+            break;
+        case StmtKind::For:
+            expr(s->loop.lower);
+            expr(s->loop.upper);
+            stmts(s->body);
+            break;
+        }
+    }
+
+    void run(const DataflowGraph& g)
+    {
+        for (const Operator& op : g.ops)
+            stmts(op.body);
+        for (const Operator& op : g.ops) // declared-but-unused tensors
+            for (const TensorDecl& t : op.tensors)
+                touch(t.name);
+    }
+};
+
+/** Generic expression rewriter over a statement tree. */
+template <typename Fn>
+StmtPtr
+rewriteStmt(const StmtPtr& s, Fn&& fn)
+{
+    if (!s)
+        return s;
+    auto c = std::make_shared<Stmt>(*s);
+    switch (c->kind) {
+    case StmtKind::Assign:
+        for (ExprPtr& i : c->targetIdx)
+            i = fn(i);
+        c->rhs = fn(c->rhs);
+        break;
+    case StmtKind::If:
+        c->cond = fn(c->cond);
+        for (StmtPtr& b : c->thenBody)
+            b = rewriteStmt(b, fn);
+        for (StmtPtr& b : c->elseBody)
+            b = rewriteStmt(b, fn);
+        break;
+    case StmtKind::For:
+        c->loop.lower = fn(c->loop.lower);
+        c->loop.upper = fn(c->loop.upper);
+        for (StmtPtr& b : c->body)
+            b = rewriteStmt(b, fn);
+        break;
+    }
+    return c;
+}
+
+/** Neutralize unroll/parallel pragmas on every loop. */
+StmtPtr
+eraseKnobsStmt(const StmtPtr& s)
+{
+    if (!s)
+        return s;
+    auto c = std::make_shared<Stmt>(*s);
+    if (c->kind == StmtKind::For) {
+        c->loop.unroll = 1;
+        c->loop.parallel = false;
+        for (StmtPtr& b : c->body)
+            b = eraseKnobsStmt(b);
+    } else if (c->kind == StmtKind::If) {
+        for (StmtPtr& b : c->thenBody)
+            b = eraseKnobsStmt(b);
+        for (StmtPtr& b : c->elseBody)
+            b = eraseKnobsStmt(b);
+    }
+    return c;
+}
+
+/**
+ * Name-free per-tensor fingerprint for the band-sort keys: declared
+ * shape plus whole-operator read/write counts. Symmetric operands
+ * (same shape, same usage) deliberately collide — their loops tie and
+ * keep source order.
+ */
+std::map<std::string, uint64_t>
+tensorFingerprints(const Operator& op)
+{
+    std::map<std::string, std::pair<size_t, size_t>> rw; // reads, writes
+    struct Walk
+    {
+        std::map<std::string, std::pair<size_t, size_t>>& rw;
+        void expr(const ExprPtr& e)
+        {
+            if (!e)
+                return;
+            if (e->kind == ExprKind::ArrayRef)
+                ++rw[e->name].first;
+            for (const ExprPtr& a : e->args)
+                expr(a);
+        }
+        void stmts(const std::vector<StmtPtr>& body)
+        {
+            for (const StmtPtr& s : body) {
+                if (!s)
+                    continue;
+                switch (s->kind) {
+                case StmtKind::Assign:
+                    if (!s->targetIdx.empty())
+                        ++rw[s->target].second;
+                    for (const ExprPtr& i : s->targetIdx)
+                        expr(i);
+                    expr(s->rhs);
+                    break;
+                case StmtKind::If:
+                    expr(s->cond);
+                    stmts(s->thenBody);
+                    stmts(s->elseBody);
+                    break;
+                case StmtKind::For:
+                    expr(s->loop.lower);
+                    expr(s->loop.upper);
+                    stmts(s->body);
+                    break;
+                }
+            }
+        }
+    };
+    Walk w{rw};
+    w.stmts(op.body);
+
+    std::map<std::string, uint64_t> out;
+    for (const TensorDecl& t : op.tensors) {
+        uint64_t h = fnv1a("tensor-fp");
+        h = hashCombine(h, t.dims.size());
+        for (const ExprPtr& d : t.dims)
+            h = hashCombine(h, fnv1a(printExpr(d)));
+        h = hashCombine(h, rw[t.name].first);
+        h = hashCombine(h, rw[t.name].second);
+        out[t.name] = h;
+    }
+    return out;
+}
+
+void
+swapNestLevels(NestInfo& n, int i, int j)
+{
+    std::swap(n.loops[static_cast<size_t>(i)],
+              n.loops[static_cast<size_t>(j)]);
+    for (DirectionVector& dv : n.deps)
+        std::swap(dv.dirs[static_cast<size_t>(i)],
+                  dv.dirs[static_cast<size_t>(j)]);
+    for (Reduction& r : n.reductions)
+        for (int& l : r.freeLevels)
+            l = l == i ? j : (l == j ? i : l);
+}
+
+StmtPtr
+buildChain(const std::vector<Loop>& band, std::vector<StmtPtr> inner)
+{
+    for (size_t l = band.size(); l-- > 0;) {
+        auto f = std::make_shared<Stmt>();
+        f->kind = StmtKind::For;
+        f->loop = band[l];
+        f->body = std::move(inner);
+        inner = {StmtPtr(std::move(f))};
+    }
+    return inner[0];
+}
+
+/**
+ * Sort the perfect band of every nest into canonical order by a
+ * name-free per-loop signature, applying only interchanges the
+ * dependence analysis proves legal (adjacent swaps; the legality state
+ * is permuted alongside, so each step re-checks against current order).
+ */
+StmtPtr
+sortBandsStmt(const StmtPtr& s, const std::set<std::string>& invariant,
+              const std::map<std::string, uint64_t>& tfp)
+{
+    if (!s)
+        return s;
+    if (s->kind == StmtKind::If) {
+        auto c = std::make_shared<Stmt>(*s);
+        for (StmtPtr& b : c->thenBody)
+            b = sortBandsStmt(b, invariant, tfp);
+        for (StmtPtr& b : c->elseBody)
+            b = sortBandsStmt(b, invariant, tfp);
+        return c;
+    }
+    if (s->kind != StmtKind::For)
+        return s;
+
+    std::vector<Loop> band;
+    const Stmt* cur = s.get();
+    band.push_back(cur->loop);
+    while (cur->body.size() == 1 && cur->body[0]->kind == StmtKind::For) {
+        cur = cur->body[0].get();
+        band.push_back(cur->loop);
+    }
+    std::vector<StmtPtr> inner;
+    inner.reserve(cur->body.size());
+    for (const StmtPtr& b : cur->body)
+        inner.push_back(sortBandsStmt(b, invariant, tfp));
+
+    if (band.size() < 2)
+        return buildChain(band, std::move(inner));
+
+    StmtPtr rebuilt = buildChain(band, inner);
+    NestInfo nest = analyzeNest(rebuilt, invariant);
+
+    std::set<std::string> bandSet;
+    std::vector<std::string> bandVars;
+    for (const Loop& l : nest.loops) {
+        bandSet.insert(l.var);
+        bandVars.push_back(l.var);
+    }
+    std::vector<Access> accesses = collectAccesses(inner, bandSet, invariant);
+
+    // Per-level signature: bounds/step plus the sorted multiset of
+    // (tensor fingerprint, dimension, coefficient, is-write) usages of
+    // this loop's variable. No names anywhere, so all members of an
+    // interchange family compute the same keys for the same loops.
+    std::vector<uint64_t> keys(nest.loops.size());
+    for (size_t l = 0; l < nest.loops.size(); ++l) {
+        const Loop& lp = nest.loops[l];
+        uint64_t k = fnv1a("band-key");
+        k = hashCombine(k, fnv1a(printExpr(lp.lower)));
+        k = hashCombine(k, fnv1a(printExpr(lp.upper)));
+        k = hashCombine(k, static_cast<uint64_t>(lp.step));
+        std::vector<uint64_t> uses;
+        for (const Access& a : accesses) {
+            auto fpIt = tfp.find(a.name);
+            uint64_t fp = fpIt != tfp.end() ? fpIt->second : fnv1a(a.name);
+            for (size_t d = 0; d < a.subs.size(); ++d) {
+                uint64_t u = 0;
+                if (a.subs[d].affine) {
+                    auto it = a.subs[d].coeff.find(lp.var);
+                    if (it == a.subs[d].coeff.end())
+                        continue;
+                    u = hashCombine(hashCombine(fp, d),
+                                    static_cast<uint64_t>(it->second));
+                } else {
+                    if (!containsName(a.subExprs[d], {lp.var}))
+                        continue;
+                    u = hashCombine(hashCombine(fp, d), fnv1a("non-affine"));
+                }
+                uses.push_back(hashCombine(u, a.write ? 1u : 0u));
+            }
+        }
+        std::sort(uses.begin(), uses.end());
+        for (uint64_t u : uses)
+            k = hashCombine(k, u);
+        keys[l] = k;
+    }
+
+    // Legality-gated bubble sort: each executed swap strictly reduces
+    // key inversions, so this terminates; blocked swaps just leave the
+    // band in a coarser (still deterministic) order.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int l = 0; l + 1 < nest.depth(); ++l) {
+            size_t ul = static_cast<size_t>(l);
+            if (keys[ul + 1] < keys[ul] &&
+                interchangeLegal(nest, l, l + 1)) {
+                swapNestLevels(nest, l, l + 1);
+                std::swap(keys[ul], keys[ul + 1]);
+                changed = true;
+            }
+        }
+    }
+    return buildChain(nest.loops, std::move(inner));
+}
+
+/** Rename tensors to T<pos> and re-order each op's declarations. */
+DataflowGraph
+renameTensors(const DataflowGraph& g, const std::map<std::string, int>& pos)
+{
+    std::map<std::string, std::string> m;
+    for (const auto& kv : pos)
+        m[kv.first] = util::format("T%d", kv.second);
+
+    struct ExprRenamer
+    {
+        const std::map<std::string, std::string>& m;
+        ExprPtr operator()(const ExprPtr& e) const
+        {
+            if (!e)
+                return e;
+            auto c = std::make_shared<Expr>(*e);
+            if (c->kind == ExprKind::ArrayRef) {
+                auto it = m.find(c->name);
+                if (it != m.end())
+                    c->name = it->second;
+            }
+            for (ExprPtr& a : c->args)
+                a = (*this)(a);
+            return c;
+        }
+    };
+    ExprRenamer ren{m};
+
+    DataflowGraph out = g;
+    for (Operator& op : out.ops) {
+        for (StmtPtr& s : op.body)
+            s = rewriteStmt(s, ren);
+        // Array assignment targets.
+        struct TargetFix
+        {
+            const std::map<std::string, std::string>& m;
+            StmtPtr fix(const StmtPtr& s) const
+            {
+                if (!s)
+                    return s;
+                auto c = std::make_shared<Stmt>(*s);
+                if (c->kind == StmtKind::Assign) {
+                    auto it = m.find(c->target);
+                    if (it != m.end() && !c->targetIdx.empty())
+                        c->target = it->second;
+                } else if (c->kind == StmtKind::If) {
+                    for (StmtPtr& b : c->thenBody)
+                        b = fix(b);
+                    for (StmtPtr& b : c->elseBody)
+                        b = fix(b);
+                } else if (c->kind == StmtKind::For) {
+                    for (StmtPtr& b : c->body)
+                        b = fix(b);
+                }
+                return c;
+            }
+        };
+        TargetFix tf{m};
+        for (StmtPtr& s : op.body)
+            s = tf.fix(s);
+        for (TensorDecl& t : op.tensors) {
+            auto it = m.find(t.name);
+            if (it != m.end())
+                t.name = it->second;
+            for (ExprPtr& d : t.dims)
+                d = ren(d);
+        }
+        std::sort(op.tensors.begin(), op.tensors.end(),
+                  [](const TensorDecl& a, const TensorDecl& b) {
+                      return a.name < b.name;
+                  });
+    }
+    return out;
+}
+
+/**
+ * Order commutative operands by (blindHash, rendered form): symmetric
+ * tensor operands that exprHash-based ordering leaves dependent on the
+ * original names become deterministic in the positional names.
+ */
+ExprPtr
+famSortExpr(const ExprPtr& e)
+{
+    if (!e)
+        return e;
+    std::vector<ExprPtr> args;
+    args.reserve(e->args.size());
+    bool sub = false;
+    for (const ExprPtr& a : e->args) {
+        ExprPtr r = famSortExpr(a);
+        sub = sub || r != a;
+        args.push_back(std::move(r));
+    }
+    bool swap = false;
+    if (e->kind == ExprKind::Binary && commutative(e->op) &&
+        args.size() == 2) {
+        uint64_t h0 = blindHash(args[0]);
+        uint64_t h1 = blindHash(args[1]);
+        if (h1 < h0 ||
+            (h1 == h0 && printExpr(args[1]) < printExpr(args[0])))
+            swap = true;
+    }
+    if (!sub && !swap)
+        return e;
+    auto c = std::make_shared<Expr>(*e);
+    c->args = std::move(args);
+    if (swap)
+        std::swap(c->args[0], c->args[1]);
+    return c;
+}
+
+} // namespace
+
+DataflowGraph
+scheduleCanonicalize(const DataflowGraph& g)
+{
+    DataflowGraph work = canonicalize(g);
+
+    // Mapping knobs move cycles, not meaning: neutral for the family.
+    for (Operator& op : work.ops)
+        for (StmtPtr& s : op.body)
+            s = eraseKnobsStmt(s);
+    work.params = HardwareParams{};
+
+    // Canonical loop order per nest (legal interchanges only).
+    for (Operator& op : work.ops) {
+        std::set<std::string> invariant(op.scalarParams.begin(),
+                                        op.scalarParams.end());
+        std::map<std::string, uint64_t> tfp = tensorFingerprints(op);
+        for (StmtPtr& s : op.body)
+            s = sortBandsStmt(s, invariant, tfp);
+    }
+
+    // Loop variables renumber to the sorted order (i0 outermost again).
+    work = renameCanonical(work);
+
+    // Positional tensor names + name-blind symmetric-operand order.
+    FirstUse fu;
+    fu.run(work);
+    work = renameTensors(work, fu.pos);
+    for (Operator& op : work.ops) {
+        for (StmtPtr& s : op.body)
+            s = rewriteStmt(s, [](const ExprPtr& e) { return famSortExpr(e); });
+        for (TensorDecl& t : op.tensors)
+            for (ExprPtr& d : t.dims)
+                d = famSortExpr(d);
+    }
+    work.name = "schedule-family";
+    return work;
+}
+
+uint64_t
+scheduleFamilyHash(const DataflowGraph& g)
+{
+    return structuralHash(scheduleCanonicalize(g));
+}
+
+ScheduleReport
+scheduleReport(const DataflowGraph& g)
+{
+    ScheduleReport rep;
+    rep.canonicalHash = canonicalHash(g);
+    rep.familyHash = scheduleFamilyHash(g);
+    for (const Operator& op : g.ops) {
+        for (const NestInfo& n : analyzeOperator(op)) {
+            NestReport nr;
+            nr.op = op.name;
+            nr.depth = n.depth();
+            nr.perfect = n.perfect;
+            nr.affineAccesses = n.affineAccesses;
+            nr.nonAffineAccesses = n.nonAffineAccesses;
+            nr.dependences = n.deps.size();
+            for (int i = 0; i < n.depth(); ++i)
+                for (int j = i + 1; j < n.depth(); ++j)
+                    if (interchangeLegal(n, i, j))
+                        nr.legalPairs.emplace_back(i, j);
+            for (const Reduction& r : n.reductions)
+                nr.reductionTargets.push_back(r.target);
+            nr.notes = n.notes;
+            rep.nests.push_back(std::move(nr));
+        }
+    }
+    return rep;
+}
+
+std::string
+ScheduleReport::str() const
+{
+    std::string out;
+    out += util::format("canonicalHash=%016llx familyHash=%016llx\n",
+                        static_cast<unsigned long long>(canonicalHash),
+                        static_cast<unsigned long long>(familyHash));
+    for (const NestReport& n : nests) {
+        out += util::format(
+            "%s: depth=%d perfect=%d affine=%zu nonaffine=%zu deps=%zu "
+            "legal={",
+            n.op.c_str(), n.depth, n.perfect ? 1 : 0, n.affineAccesses,
+            n.nonAffineAccesses, n.dependences);
+        for (size_t i = 0; i < n.legalPairs.size(); ++i)
+            out += util::format("%s(%d,%d)", i ? " " : "",
+                                n.legalPairs[i].first, n.legalPairs[i].second);
+        out += "}";
+        if (!n.reductionTargets.empty()) {
+            out += " reductions=[";
+            for (size_t i = 0; i < n.reductionTargets.size(); ++i)
+                out += (i ? " " : "") + n.reductionTargets[i];
+            out += "]";
+        }
+        for (const std::string& note : n.notes)
+            out += "; " + note;
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace dfir
+} // namespace llmulator

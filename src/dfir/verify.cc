@@ -3,6 +3,7 @@
 #include <set>
 #include <sstream>
 
+#include "dfir/schedule.h"
 #include "util/string_util.h"
 
 namespace llmulator {
@@ -232,6 +233,21 @@ Verifier::checkStmt(const StmtPtr& s, OpScope& sc)
         }
         for (const auto& idx : s->targetIdx)
             checkExpr(idx, sc, "array index");
+        // Non-affine write subscripts (indirect stores like A[B[i]])
+        // are legal IR, but the dependence analysis goes conservative
+        // on them — surface that as a warning, mirroring the read-side
+        // check in checkExpr.
+        for (const auto& idx : s->targetIdx)
+            if (classifySubscript(idx, sc.loopStack, sc.params) ==
+                AccessClass::NonAffine) {
+                warn(opn, util::format(
+                              "subscript of '%s' in assignment target "
+                              "is non-affine in the enclosing loop "
+                              "variables; dependence analysis treats "
+                              "this access conservatively",
+                              s->target.c_str()));
+                break;
+            }
         if (!s->rhs)
             error(opn, util::format("assignment to '%s' has no "
                                     "right-hand side",
@@ -386,6 +402,22 @@ Verifier::checkExpr(const ExprPtr& e, OpScope& sc, const char* where)
                            e->name.c_str()));
         for (const auto& idx : e->args)
             checkExpr(idx, sc, "array index");
+        // Non-affine subscripts are legal (the simulator evaluates
+        // them), but the dependence analysis cannot reason about them —
+        // surface that as a warning, never an error, so imperfect and
+        // data-dependent indexing degrades gracefully instead of
+        // tripping an assert somewhere downstream.
+        for (const auto& idx : e->args)
+            if (classifySubscript(idx, sc.loopStack, sc.params) ==
+                AccessClass::NonAffine) {
+                warn(opn,
+                     util::format("subscript of '%s' in %s is non-affine "
+                                  "in the enclosing loop variables; "
+                                  "dependence analysis treats this "
+                                  "access conservatively",
+                                  e->name.c_str(), where));
+                break;
+            }
         break;
       }
       case ExprKind::Binary: {

@@ -5,6 +5,7 @@
 
 #include "dfir/analysis.h"
 #include "dfir/builder.h"
+#include "dfir/schedule.h"
 #include "util/string_util.h"
 
 namespace llmulator {
@@ -224,20 +225,22 @@ scaleConsts(const ExprPtr& e, double factor, long min_v, long max_v)
 }
 
 StmtPtr
-mutateStmt(const StmtPtr& s, util::Rng& rng, const GenConfig& cfg);
+mutateStmt(const StmtPtr& s, util::Rng& rng, const GenConfig& cfg,
+           const std::set<std::string>& invariant);
 
 std::vector<StmtPtr>
 mutateBody(const std::vector<StmtPtr>& body, util::Rng& rng,
-           const GenConfig& cfg)
+           const GenConfig& cfg, const std::set<std::string>& invariant)
 {
     std::vector<StmtPtr> out;
     for (const auto& b : body)
-        out.push_back(mutateStmt(b, rng, cfg));
+        out.push_back(mutateStmt(b, rng, cfg, invariant));
     return out;
 }
 
 StmtPtr
-mutateStmt(const StmtPtr& s, util::Rng& rng, const GenConfig& cfg)
+mutateStmt(const StmtPtr& s, util::Rng& rng, const GenConfig& cfg,
+           const std::set<std::string>& invariant)
 {
     auto copy = std::make_shared<Stmt>(*s);
     switch (s->kind) {
@@ -246,11 +249,11 @@ mutateStmt(const StmtPtr& s, util::Rng& rng, const GenConfig& cfg)
             copy->rhs = scaleConsts(s->rhs, rng.uniform(0.5, 1.5), 1, 99);
         break;
       case StmtKind::If:
-        copy->thenBody = mutateBody(s->thenBody, rng, cfg);
-        copy->elseBody = mutateBody(s->elseBody, rng, cfg);
+        copy->thenBody = mutateBody(s->thenBody, rng, cfg, invariant);
+        copy->elseBody = mutateBody(s->elseBody, rng, cfg, invariant);
         break;
       case StmtKind::For: {
-        copy->body = mutateBody(s->body, rng, cfg);
+        copy->body = mutateBody(s->body, rng, cfg, invariant);
         // Kernel/bound size swap (e.g. 3x3 -> 5x5 convolution windows).
         if (rng.chance(0.5))
             copy->loop.upper =
@@ -259,9 +262,16 @@ mutateStmt(const StmtPtr& s, util::Rng& rng, const GenConfig& cfg)
         // Step-size mutation.
         if (rng.chance(0.2))
             copy->loop.step = static_cast<int>(rng.uniformInt(1, 2));
-        // Loop interchange with a directly nested single child loop.
+        // Loop interchange with a directly nested single child loop —
+        // only when the dependence analysis proves the swap legal
+        // (dependence-carrying nests like in-place stencils must keep
+        // their loop order or the program's meaning changes). The rng
+        // draw stays in the same short-circuit position as before the
+        // legality gate, so unrelated mutation streams are unchanged.
         if (copy->body.size() == 1 &&
-            copy->body[0]->kind == StmtKind::For && rng.chance(0.35)) {
+            copy->body[0]->kind == StmtKind::For && rng.chance(0.35) &&
+            dfir::interchangeLegal(dfir::analyzeNest(copy, invariant), 0,
+                                   1)) {
             auto inner = std::make_shared<Stmt>(*copy->body[0]);
             std::swap(copy->loop, inner->loop);
             copy->body = {inner};
@@ -280,8 +290,11 @@ mutateProgram(const dfir::DataflowGraph& base, util::Rng& rng,
 {
     DataflowGraph g = base;
     g.name = base.name + "_m";
-    for (auto& op : g.ops)
-        op.body = mutateBody(op.body, rng, cfg);
+    for (auto& op : g.ops) {
+        std::set<std::string> invariant(op.scalarParams.begin(),
+                                        op.scalarParams.end());
+        op.body = mutateBody(op.body, rng, cfg, invariant);
+    }
     // Operator reordering / duplication at the graph level.
     if (g.calls.size() > 1 && rng.chance(0.5))
         rng.shuffle(g.calls);
@@ -526,6 +539,57 @@ equivalentMutant(const dfir::DataflowGraph& base, util::Rng& rng)
     }
 
     g.name = base.name + "_eq";
+    out.graph = std::move(g);
+    return out;
+}
+
+ScheduleMutant
+scheduleMutant(const dfir::DataflowGraph& base, util::Rng& rng)
+{
+    ScheduleMutant out;
+    DataflowGraph g = base;
+    for (auto& op : g.ops) {
+        std::set<std::string> invariant(op.scalarParams.begin(),
+                                        op.scalarParams.end());
+        for (auto& s : op.body) {
+            if (!s || s->kind != StmtKind::For)
+                continue;
+            dfir::NestInfo nest = dfir::analyzeNest(s, invariant);
+            std::vector<std::pair<int, int>> legal;
+            for (int i = 0; i < nest.depth(); ++i)
+                for (int j = i + 1; j < nest.depth(); ++j)
+                    if (dfir::interchangeLegal(nest, i, j))
+                        legal.emplace_back(i, j);
+            if (legal.empty())
+                continue;
+            auto pick = legal[rng.index(legal.size())];
+
+            // Materialize the perfect band (same walk analyzeNest
+            // does), swap the two chosen headers, rebuild the chain.
+            std::vector<Loop> band;
+            const Stmt* cur = s.get();
+            band.push_back(cur->loop);
+            while (cur->body.size() == 1 &&
+                   cur->body[0]->kind == StmtKind::For) {
+                cur = cur->body[0].get();
+                band.push_back(cur->loop);
+            }
+            std::vector<StmtPtr> inner = cur->body;
+            std::swap(band[static_cast<size_t>(pick.first)],
+                      band[static_cast<size_t>(pick.second)]);
+            for (size_t l = band.size(); l-- > 0;) {
+                auto f = std::make_shared<Stmt>();
+                f->kind = StmtKind::For;
+                f->loop = band[l];
+                f->body = std::move(inner);
+                inner = {StmtPtr(std::move(f))};
+            }
+            s = inner[0];
+            ++out.interchanges;
+        }
+    }
+    out.changed = out.interchanges > 0;
+    g.name = base.name + "_sx";
     out.graph = std::move(g);
     return out;
 }

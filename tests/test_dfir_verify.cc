@@ -202,6 +202,54 @@ TEST(Verify, ScalarTempReadsAreWellFormed)
     EXPECT_TRUE(res.ok()) << res.str();
 }
 
+TEST(Verify, NonAffineSubscriptWarnsButVerifies)
+{
+    // Indirect addressing (X[Y[i]]) is legal IR: the verifier must
+    // surface it as a Warning (the dependence analysis goes
+    // conservative there), never as an Error or an assert.
+    auto g = makeCleanGraph();
+    Operator& op = g.ops[0];
+    op.tensors = {tensor("X", {p("N")}), tensor("Y", {p("N")})};
+    op.body = {forLoop("i", c(0), p("N"),
+                       {assign("X", {a("Y", {v("i")})}, c(1))})};
+    auto res = verify(g);
+    EXPECT_TRUE(res.ok()) << res.str();
+    EXPECT_NE(res.str().find("non-affine"), std::string::npos)
+        << res.str();
+    EXPECT_GE(res.warningCount(), 1u) << res.str();
+    EXPECT_EQ(res.errorCount(), 0u) << res.str();
+}
+
+TEST(Verify, AffineSubscriptsDoNotWarn)
+{
+    // Strided/offset affine subscripts must stay diagnostic-free — the
+    // warning is only for accesses the linearizer cannot express.
+    auto g = makeCleanGraph();
+    Operator& op = g.ops[0];
+    op.body = {forLoop(
+        "i", c(0), c(8),
+        {assign("X", {badd(bmul(c(2), v("i")), c(1))}, c(0))})};
+    auto res = verify(g);
+    EXPECT_TRUE(res.ok()) << res.str();
+    EXPECT_EQ(res.diags.size(), 0u) << res.str();
+}
+
+TEST(Verify, ImperfectNestVerifiesCleanly)
+{
+    // An imperfect nest (straight-line statement between loops) is a
+    // schedule-analysis limitation, not an IR defect: no diagnostics.
+    auto g = makeCleanGraph();
+    Operator& op = g.ops[0];
+    op.body = {forLoop(
+        "i", c(0), p("N"),
+        {assignScalar("t", a("X", {v("i")})),
+         forLoop("j", c(0), c(4),
+                 {assign("X", {v("i")}, p("t"))})})};
+    auto res = verify(g);
+    EXPECT_TRUE(res.ok()) << res.str();
+    EXPECT_EQ(res.diags.size(), 0u) << res.str();
+}
+
 TEST(Verify, CorpusSweepWorkloadsAreClean)
 {
     // Every evaluation workload must verify without a single Error.

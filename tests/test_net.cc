@@ -292,6 +292,43 @@ TEST(PersistentCache, SaveLoadRoundTripIsBitExact)
     std::remove(path.c_str());
 }
 
+TEST(PersistentCache, FamilyStatsNeverTouchExactEntriesOrTheSnapshot)
+{
+    // recordFamily is statistics-only by contract: interleaving family
+    // probes must not change get/put results, and save() must not
+    // persist family state — a warm-loaded cache starts its family
+    // counters from zero.
+    std::string path = tempPath("family");
+    net::PersistentResultCache cache(8);
+    model::NumericPrediction pred = somePrediction(321);
+    cache.put(someKey(1), pred);
+
+    EXPECT_FALSE(cache.recordFamily(0xfeed)); // first sighting: miss
+    EXPECT_TRUE(cache.recordFamily(0xfeed));  // repeat: hit
+    EXPECT_FALSE(cache.recordFamily(0xbeef));
+    auto fs = cache.familyStats();
+    EXPECT_EQ(fs.probes, 3u);
+    EXPECT_EQ(fs.hits, 1u);
+    EXPECT_EQ(fs.distinct, 2u);
+
+    // Exact-key behavior is unchanged by the probes above.
+    model::NumericPrediction out;
+    ASSERT_TRUE(cache.get(someKey(1), out));
+    expectBitEqual(out, pred);
+    EXPECT_FALSE(cache.get(someKey(0xfeed), out)); // families aren't keys
+    EXPECT_EQ(cache.size(), 1u);
+
+    ASSERT_TRUE(cache.save(path));
+    net::PersistentResultCache warm(8);
+    auto ls = warm.load(path, /*modelVersion=*/0);
+    EXPECT_TRUE(ls.clean);
+    EXPECT_EQ(ls.loaded, 1u);
+    auto warmFs = warm.familyStats();
+    EXPECT_EQ(warmFs.probes, 0u);
+    EXPECT_EQ(warmFs.distinct, 0u);
+    std::remove(path.c_str());
+}
+
 TEST(PersistentCache, MissingFileIsACleanColdStart)
 {
     net::PersistentResultCache cache(4);
